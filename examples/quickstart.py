@@ -1,0 +1,70 @@
+"""Quickstart: validate and discover (approximate) order dependencies.
+
+Runs entirely on the paper's running example (Table 1, employee salaries)
+and reproduces its worked examples:
+
+* ``sal ~ taxGrp`` holds exactly,
+* ``sal ~ tax`` is broken by data-entry errors but holds approximately with
+  factor 4/9 (Example 2.15 / 3.2),
+* the greedy iterative validator overestimates that factor (Example 3.1),
+* full AOD discovery surfaces the dependencies the motivation section talks
+  about.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    CanonicalOC,
+    discover_aods,
+    discover_ods,
+    employee_salary_table,
+    validate_aoc_iterative,
+    validate_aoc_optimal,
+)
+
+
+def main() -> None:
+    table = employee_salary_table()
+    print("Table 1 — employee salaries")
+    print(table.to_pretty_string())
+    print()
+
+    # --- single-candidate validation -----------------------------------------
+    exact_oc = CanonicalOC([], "sal", "taxGrp")
+    dirty_oc = CanonicalOC([], "sal", "tax")
+
+    print("Validating individual OC candidates with Algorithm 2 (optimal):")
+    for oc in (exact_oc, dirty_oc):
+        result = validate_aoc_optimal(table, oc)
+        print(f"  {oc!r}: removal set size {result.removal_size}, "
+              f"approximation factor {result.approximation_factor:.3f}")
+    print()
+
+    print("The iterative baseline (Algorithm 1) overestimates sal ~ tax:")
+    greedy = validate_aoc_iterative(table, dirty_oc)
+    optimal = validate_aoc_optimal(table, dirty_oc)
+    print(f"  iterative removes {greedy.removal_size} tuples "
+          f"(factor {greedy.approximation_factor:.3f})")
+    print(f"  optimal   removes {optimal.removal_size} tuples "
+          f"(factor {optimal.approximation_factor:.3f})")
+    print()
+
+    # --- discovery ------------------------------------------------------------
+    print("Exact OD discovery (threshold 0):")
+    exact = discover_ods(table)
+    print(exact.summary())
+    print()
+
+    print("Approximate OD discovery (threshold 15%):")
+    approximate = discover_aods(table, threshold=0.15)
+    print(approximate.summary())
+    print()
+    print("Most interesting approximate order compatibilities:")
+    for found in approximate.ranked_ocs(5):
+        print(f"  {found}")
+
+
+if __name__ == "__main__":
+    main()

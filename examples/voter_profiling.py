@@ -1,0 +1,57 @@
+"""Profiling a voter-registration-like table end to end (CSV workflow).
+
+Shows the workflow a downstream user would follow with their own data:
+
+1. write the synthetic ncvoter-like workload out as a CSV file (standing in
+   for a real export from https://www.ncsbe.gov),
+2. load it back with :func:`repro.dataset.read_csv`,
+3. run the one-call profiler (column statistics + AOD discovery + ranking),
+4. print the report and the qualitative AOCs the paper highlights
+   (``municipalityAbbrv ~ municipalityDesc``, ``streetAddress ~
+   mailAddress``).
+
+Run with::
+
+    python examples/voter_profiling.py [num_rows]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.applications.profiling import profile_relation
+from repro.dataset.csv_io import read_csv, write_csv
+from repro.dataset.generators import generate_ncvoter_like
+
+
+def main(num_rows: int = 800) -> None:
+    workload = generate_ncvoter_like(num_rows, num_attributes=10,
+                                     error_rate=0.08, seed=19)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "ncvoter_sample.csv"
+        write_csv(workload.relation, path)
+        print(f"Wrote {path} ({path.stat().st_size} bytes)")
+        relation = read_csv(path)
+
+    report = profile_relation(relation, threshold=0.1, max_level=3)
+    print(report.render(top_k=8))
+    print()
+
+    discovery = report.discovery
+    print("Qualitative AOCs the paper highlights (Exp-4 / Exp-6):")
+    for a, b in [("municipalityDesc", "municipalityAbbrv"),
+                 ("streetAddress", "mailAddress"),
+                 ("countyId", "zipCode")]:
+        found = discovery.find_oc(a, b)
+        if found is None:
+            print(f"  {a} ~ {b}: not valid at the 10% threshold on this sample")
+        else:
+            print(f"  {a} ~ {b}: approximation factor "
+                  f"{found.approximation_factor:.1%}, "
+                  f"interestingness {found.interestingness:.3f}")
+
+
+if __name__ == "__main__":
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    main(rows)

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that editable installs keep working on environments whose setuptools/pip
+combination lacks PEP 660 support (e.g. offline machines without the
+``wheel`` package): ``python setup.py develop`` or ``pip install -e .``
+both resolve through here.
+"""
+
+from setuptools import setup
+
+setup()

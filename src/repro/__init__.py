@@ -1,0 +1,97 @@
+"""repro — reference reproduction of *Efficient Discovery of Approximate
+Order Dependencies* (Karegar et al., EDBT 2021).
+
+The package is organised as follows:
+
+``repro.dataset``
+    Columnar relations, schemas, order-preserving dictionary encoding,
+    equivalence-class partitions, synthetic workload generators and the
+    paper's running-example table.
+
+``repro.dependencies``
+    The dependency model: nested orders, list-based order dependencies
+    (ODs), canonical order compatibilities (OCs), order functional
+    dependencies (OFDs), classic functional dependencies (FDs), the
+    canonical mapping between the list-based and set-based representations,
+    and swap / split violation semantics.
+
+``repro.validation``
+    Validation algorithms.  The paper's contribution is the optimal,
+    longest-non-decreasing-subsequence based validator for approximate OCs
+    (Algorithm 2, :func:`repro.validation.validate_aoc_optimal`); the
+    quadratic iterative validator it replaces (Algorithm 1,
+    :func:`repro.validation.validate_aoc_iterative`) is implemented as the
+    baseline.  Exact validators and the linear approximate-OFD validator
+    are included as well.
+
+``repro.discovery``
+    The set-based, level-wise lattice discovery framework (Figure 1 of the
+    paper) with axiom pruning, pluggable AOC validators, and
+    interestingness ranking.  Exact OD discovery is the special case of an
+    approximation threshold of zero.
+
+``repro.baselines``
+    TANE-style FD/AFD discovery and a bounded list-based OD discovery used
+    as comparison points in the benchmarks.
+
+``repro.applications``
+    Downstream uses of discovered dependencies: outlier detection, error
+    repair and dataset profiling.
+
+``repro.benchlib``
+    The measurement harness used by the ``benchmarks/`` suites to
+    regenerate every figure and table of the paper's evaluation section.
+"""
+
+from repro.dataset import Relation, Schema, Attribute, AttributeType
+from repro.dataset.examples import employee_salary_table
+from repro.dependencies import (
+    FD,
+    OFD,
+    CanonicalOC,
+    CanonicalOD,
+    ListOD,
+    canonicalize_list_od,
+)
+from repro.validation import (
+    ValidationResult,
+    validate_aoc_iterative,
+    validate_aoc_optimal,
+    validate_aod_optimal,
+    validate_aofd,
+    validate_exact_oc,
+    validate_exact_ofd,
+)
+from repro.discovery import (
+    DiscoveryConfig,
+    DiscoveryResult,
+    discover_aods,
+    discover_ods,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "CanonicalOC",
+    "CanonicalOD",
+    "DiscoveryConfig",
+    "DiscoveryResult",
+    "FD",
+    "ListOD",
+    "OFD",
+    "Relation",
+    "Schema",
+    "ValidationResult",
+    "canonicalize_list_od",
+    "discover_aods",
+    "discover_ods",
+    "employee_salary_table",
+    "validate_aoc_iterative",
+    "validate_aoc_optimal",
+    "validate_aod_optimal",
+    "validate_aofd",
+    "validate_exact_oc",
+    "validate_exact_ofd",
+]
+
+__version__ = "1.0.0"

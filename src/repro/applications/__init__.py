@@ -1,0 +1,28 @@
+"""Downstream applications of discovered (approximate) order dependencies.
+
+Figure 1 of the paper ends with "Error Repair / Outlier Detection": once
+AODs have been discovered, ranked and (optionally) vetted by a domain
+expert, the tuples in their removal sets point at likely data-quality
+problems.  These modules implement that last mile:
+
+* :mod:`repro.applications.outlier_detection` — score tuples by how many
+  high-interest dependencies they violate,
+* :mod:`repro.applications.error_repair` — propose minimal repairs
+  (tuple removals or value corrections) that restore a chosen set of
+  dependencies,
+* :mod:`repro.applications.profiling` — a one-call profiling report
+  combining discovery, ranking and violation summaries.
+"""
+
+from repro.applications.outlier_detection import OutlierReport, detect_outliers
+from repro.applications.error_repair import RepairPlan, propose_repairs
+from repro.applications.profiling import ProfilingReport, profile_relation
+
+__all__ = [
+    "OutlierReport",
+    "RepairPlan",
+    "ProfilingReport",
+    "detect_outliers",
+    "profile_relation",
+    "propose_repairs",
+]

@@ -1,0 +1,82 @@
+"""Outlier detection driven by discovered approximate dependencies.
+
+Every valid AOC/AOFD comes with a minimal removal set: the tuples that stand
+between the data and the dependency holding exactly.  Tuples that appear in
+the removal sets of *many* high-interest dependencies are much more likely
+to be genuinely erroneous than tuples flagged by a single dependency; the
+outlier score aggregates exactly that evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataset.relation import Relation
+from repro.discovery.results import DiscoveryResult
+from repro.validation.approx_oc_optimal import validate_aoc_optimal
+from repro.validation.approx_ofd import validate_aofd
+
+
+@dataclass
+class OutlierReport:
+    """Per-tuple outlier evidence."""
+
+    scores: Dict[int, float] = field(default_factory=dict)
+    evidence: Dict[int, List[str]] = field(default_factory=dict)
+    num_dependencies_used: int = 0
+
+    def top(self, k: int = 10) -> List[Tuple[int, float]]:
+        """The ``k`` most suspicious row indices with their scores."""
+        ranked = sorted(self.scores.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:k]
+
+    def rows_above(self, score: float) -> List[int]:
+        """Row indices whose outlier score is at least ``score``."""
+        return sorted(row for row, value in self.scores.items() if value >= score)
+
+
+def detect_outliers(
+    relation: Relation,
+    discovery_result: DiscoveryResult,
+    top_dependencies: Optional[int] = 20,
+    include_ofds: bool = True,
+) -> OutlierReport:
+    """Score tuples by the interestingness-weighted dependencies they violate.
+
+    Parameters
+    ----------
+    relation:
+        The profiled relation (the same one the discovery ran on).
+    discovery_result:
+        Output of :func:`repro.discovery.discover_aods`.
+    top_dependencies:
+        Use only the ``k`` most interesting OCs (and OFDs); ``None`` uses
+        all of them.  Restricting to the top of the ranking mirrors the
+        expert-verification step of Figure 1.
+    include_ofds:
+        Whether approximate OFDs contribute evidence as well.
+    """
+    report = OutlierReport()
+
+    def add_evidence(rows, weight: float, label: str) -> None:
+        for row in rows:
+            report.scores[row] = report.scores.get(row, 0.0) + weight
+            report.evidence.setdefault(row, []).append(label)
+
+    for found in discovery_result.ranked_ocs(top_dependencies):
+        if found.is_exact:
+            continue  # exact dependencies flag nothing
+        result = validate_aoc_optimal(relation, found.oc)
+        add_evidence(result.removal_rows, found.interestingness, repr(found.oc))
+        report.num_dependencies_used += 1
+
+    if include_ofds:
+        for found in discovery_result.ranked_ofds(top_dependencies):
+            if found.is_exact:
+                continue
+            result = validate_aofd(relation, found.ofd)
+            add_evidence(result.removal_rows, found.interestingness, repr(found.ofd))
+            report.num_dependencies_used += 1
+
+    return report

@@ -1,0 +1,97 @@
+"""One-call dataset profiling combining discovery, ranking and diagnostics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dataset.relation import Relation
+from repro.dataset.schema import AttributeType
+from repro.discovery.api import discover_aods
+from repro.discovery.results import DiscoveryResult
+
+
+@dataclass
+class ColumnProfile:
+    """Light-weight statistics of one column."""
+
+    name: str
+    inferred_type: str
+    distinct_values: int
+    null_count: int
+    total_rows: int = 0
+
+    @property
+    def is_candidate_key(self) -> bool:
+        """A column whose values are all distinct and non-null."""
+        return (
+            self.total_rows > 0
+            and self.null_count == 0
+            and self.distinct_values == self.total_rows
+        )
+
+
+@dataclass
+class ProfilingReport:
+    """The combined output of :func:`profile_relation`."""
+
+    num_rows: int
+    columns: List[ColumnProfile] = field(default_factory=list)
+    discovery: Optional[DiscoveryResult] = None
+
+    def render(self, top_k: int = 10) -> str:
+        """Human-readable multi-section report (used by the CLI)."""
+        lines = [f"Rows: {self.num_rows}", "", "Columns:"]
+        for column in self.columns:
+            marker = " (candidate key)" if column.is_candidate_key else ""
+            lines.append(
+                f"  {column.name}: {column.inferred_type}, "
+                f"{column.distinct_values} distinct, {column.null_count} nulls{marker}"
+            )
+        if self.discovery is not None:
+            lines.append("")
+            lines.append(self.discovery.summary())
+            lines.append("")
+            lines.append(f"Top {top_k} order compatibilities by interestingness:")
+            for found in self.discovery.ranked_ocs(top_k):
+                lines.append(f"  {found}")
+        return "\n".join(lines)
+
+
+def profile_relation(
+    relation: Relation,
+    threshold: float = 0.1,
+    attributes: Optional[Sequence[str]] = None,
+    max_level: Optional[int] = None,
+    run_discovery: bool = True,
+) -> ProfilingReport:
+    """Profile a relation: column statistics plus AOD discovery.
+
+    ``run_discovery=False`` limits the report to the cheap column statistics
+    (useful as a first look at very wide tables before committing to the
+    exponential lattice search).
+    """
+    columns = []
+    for attribute in relation.schema:
+        values = relation.column(attribute.name)
+        non_null = [value for value in values if value is not None]
+        columns.append(
+            ColumnProfile(
+                name=attribute.name,
+                inferred_type=AttributeType.infer(values).value,
+                distinct_values=len(set(non_null)),
+                null_count=len(values) - len(non_null),
+                total_rows=relation.num_rows,
+            )
+        )
+    discovery = None
+    if run_discovery:
+        discovery = discover_aods(
+            relation,
+            threshold=threshold,
+            attributes=attributes,
+            max_level=max_level,
+        )
+    return ProfilingReport(
+        num_rows=relation.num_rows, columns=columns, discovery=discovery
+    )

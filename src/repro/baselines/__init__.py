@@ -1,0 +1,20 @@
+"""Baseline discovery algorithms used as comparison points.
+
+* :mod:`repro.baselines.tane` — TANE-style discovery of exact and
+  approximate functional dependencies (Huhtala et al. 1999), the reference
+  point for the "approximate OFD validation is already linear" claim and a
+  sanity baseline for the FD side of canonical ODs.
+* :mod:`repro.baselines.order` — a bounded list-based OD discovery in the
+  style of ORDER (Langer & Naumann 2016), used to contrast the factorial
+  list-based search space with the set-based canonical framework.
+"""
+
+from repro.baselines.tane import TaneResult, discover_fds_tane
+from repro.baselines.order import ListODResult, discover_list_ods
+
+__all__ = [
+    "ListODResult",
+    "TaneResult",
+    "discover_fds_tane",
+    "discover_list_ods",
+]

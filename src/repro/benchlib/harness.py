@@ -1,0 +1,210 @@
+"""Timed discovery runs and validator comparisons.
+
+The harness wraps the discovery engine with wall-clock measurement, a
+configurable timeout (standing in for the paper's 24-hour cut-off on the
+iterative series), and per-candidate validator comparisons used by Exp-4
+(removal-set sizes and missed AOCs).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.dataset.relation import Relation
+from repro.dependencies.oc import CanonicalOC
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import DiscoveryEngine
+from repro.discovery.results import DiscoveryResult
+from repro.validation.approx_oc_iterative import validate_aoc_iterative
+from repro.validation.approx_oc_optimal import validate_aoc_optimal
+
+
+@dataclass
+class DiscoveryMeasurement:
+    """One timed discovery run."""
+
+    label: str
+    seconds: float
+    num_ocs: int
+    num_ofds: int
+    timed_out: bool
+    validation_share: float
+    result: DiscoveryResult
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten to a dict for the reporting tables."""
+        return {
+            "label": self.label,
+            "seconds": round(self.seconds, 4),
+            "ocs": self.num_ocs,
+            "ofds": self.num_ofds,
+            "timed_out": self.timed_out,
+            "validation_share": round(self.validation_share, 4),
+        }
+
+
+def measure_discovery(
+    relation: Relation,
+    mode: str,
+    threshold: float = 0.1,
+    attributes: Optional[Sequence[str]] = None,
+    max_level: Optional[int] = None,
+    time_limit_seconds: Optional[float] = None,
+    label: Optional[str] = None,
+) -> DiscoveryMeasurement:
+    """Run discovery in one of the paper's three modes and time it.
+
+    ``mode`` is ``"od"`` (exact discovery, the "OD" series), ``"aod-optimal"``
+    or ``"aod-iterative"``.
+    """
+    if mode == "od":
+        config = DiscoveryConfig.exact(
+            attributes=attributes,
+            max_level=max_level,
+            time_limit_seconds=time_limit_seconds,
+        )
+    elif mode == "aod-optimal":
+        config = DiscoveryConfig.approximate(
+            threshold=threshold,
+            validator="optimal",
+            attributes=attributes,
+            max_level=max_level,
+            time_limit_seconds=time_limit_seconds,
+        )
+    elif mode == "aod-iterative":
+        config = DiscoveryConfig.approximate(
+            threshold=threshold,
+            validator="iterative",
+            attributes=attributes,
+            max_level=max_level,
+            time_limit_seconds=time_limit_seconds,
+        )
+    else:
+        raise ValueError(
+            f"mode must be 'od', 'aod-optimal' or 'aod-iterative', got {mode!r}"
+        )
+    start = time.perf_counter()
+    result = DiscoveryEngine(relation, config).run()
+    elapsed = time.perf_counter() - start
+    return DiscoveryMeasurement(
+        label=label or mode,
+        seconds=elapsed,
+        num_ocs=result.num_ocs,
+        num_ofds=result.num_ofds,
+        timed_out=result.timed_out,
+        validation_share=result.stats.validation_share,
+        result=result,
+    )
+
+
+def run_sweep(
+    relation_factory: Callable[[object], Relation],
+    sweep_values: Iterable[object],
+    modes: Sequence[str] = ("od", "aod-optimal", "aod-iterative"),
+    threshold: float = 0.1,
+    time_limit_seconds: Optional[float] = None,
+    max_level: Optional[int] = None,
+) -> Dict[str, List[DiscoveryMeasurement]]:
+    """Run every mode over a parameter sweep.
+
+    ``relation_factory(value)`` builds the relation for one sweep point
+    (e.g. the prefix of a dataset of a given size); the result maps each
+    mode to its series of measurements, ready for
+    :func:`repro.benchlib.reporting.format_series_table`.
+    """
+    series: Dict[str, List[DiscoveryMeasurement]] = {mode: [] for mode in modes}
+    for value in sweep_values:
+        relation = relation_factory(value)
+        for mode in modes:
+            measurement = measure_discovery(
+                relation,
+                mode,
+                threshold=threshold,
+                time_limit_seconds=time_limit_seconds,
+                max_level=max_level,
+                label=f"{mode}@{value}",
+            )
+            series[mode].append(measurement)
+    return series
+
+
+@dataclass
+class CandidateComparison:
+    """Optimal-vs-iterative comparison for a single OC candidate (Exp-4)."""
+
+    oc: CanonicalOC
+    optimal_removal: int
+    iterative_removal: int
+    optimal_factor: float
+    iterative_factor: float
+
+    @property
+    def overestimate(self) -> int:
+        """How many extra tuples the greedy validator removed."""
+        return self.iterative_removal - self.optimal_removal
+
+    @property
+    def relative_overestimate(self) -> float:
+        """Relative removal-set inflation (the paper reports ≈1% on average)."""
+        if self.optimal_removal == 0:
+            return 0.0 if self.iterative_removal == 0 else float("inf")
+        return (self.iterative_removal - self.optimal_removal) / self.optimal_removal
+
+
+@dataclass
+class ComparisonSummary:
+    """Aggregate of :func:`compare_validators_on_candidates`."""
+
+    comparisons: List[CandidateComparison] = field(default_factory=list)
+    threshold: Optional[float] = None
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.comparisons)
+
+    @property
+    def mean_relative_overestimate(self) -> float:
+        """Average removal-set inflation over candidates with violations."""
+        relevant = [
+            c.relative_overestimate
+            for c in self.comparisons
+            if c.optimal_removal > 0 and c.relative_overestimate != float("inf")
+        ]
+        if not relevant:
+            return 0.0
+        return sum(relevant) / len(relevant)
+
+    def missed_by_iterative(self) -> List[CandidateComparison]:
+        """Candidates valid under the optimal validator but rejected by the
+        greedy one (requires a threshold) — the paper's "missed AOCs"."""
+        if self.threshold is None:
+            return []
+        return [
+            c
+            for c in self.comparisons
+            if c.optimal_factor <= self.threshold < c.iterative_factor
+        ]
+
+
+def compare_validators_on_candidates(
+    relation: Relation,
+    candidates: Iterable[CanonicalOC],
+    threshold: Optional[float] = None,
+) -> ComparisonSummary:
+    """Validate every candidate with both algorithms and compare removal sets."""
+    summary = ComparisonSummary(threshold=threshold)
+    for oc in candidates:
+        optimal = validate_aoc_optimal(relation, oc)
+        iterative = validate_aoc_iterative(relation, oc)
+        summary.comparisons.append(
+            CandidateComparison(
+                oc=oc,
+                optimal_removal=optimal.removal_size,
+                iterative_removal=iterative.removal_size,
+                optimal_factor=optimal.approximation_factor,
+                iterative_factor=iterative.approximation_factor,
+            )
+        )
+    return summary

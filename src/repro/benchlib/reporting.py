@@ -1,0 +1,99 @@
+"""Plain-text rendering of benchmark series and tables.
+
+The benchmark suites print, for every figure of the paper, a table with the
+same x-axis points and the same series the paper plots (runtime per
+algorithm, annotated with the number of discovered OCs/AOCs).  These
+renderers keep that output consistent across experiments and readable in a
+terminal / CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        " | ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in materialised:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    annotations: Optional[Mapping[str, Sequence[object]]] = None,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render one figure's data as a table: one row per x value, one column
+    per series (plus optional annotation columns such as "#AOCs")."""
+    headers: List[str] = [x_label]
+    for name in series:
+        headers.append(name)
+    if annotations:
+        for name in annotations:
+            headers.append(name)
+    rows = []
+    for index, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(value_format.format(values[index]) if index < len(values) else "-")
+        if annotations:
+            for name in annotations:
+                values = annotations[name]
+                row.append(values[index] if index < len(values) else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def render_figure(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    annotations: Optional[Mapping[str, Sequence[object]]] = None,
+    notes: Optional[Sequence[str]] = None,
+) -> str:
+    """A titled block: the table plus free-form notes (paper-vs-measured)."""
+    parts = [f"=== {title} ===",
+             format_series_table(x_label, x_values, series, annotations)]
+    if notes:
+        parts.append("")
+        parts.extend(f"  note: {note}" for note in notes)
+    return "\n".join(parts)
+
+
+def speedup_series(
+    baseline: Sequence[float], improved: Sequence[float]
+) -> List[float]:
+    """Element-wise speed-up factors ``baseline / improved``."""
+    factors = []
+    for slow, fast in zip(baseline, improved):
+        factors.append(slow / fast if fast > 0 else float("inf"))
+    return factors
+
+
+def projected_quadratic_runtime(
+    measured_seconds: float, measured_rows: int, target_rows: int
+) -> float:
+    """Project a quadratic-cost runtime to a larger input size.
+
+    The paper projects the iterative series' missing points (those that did
+    not finish within 24 hours); the same projection lets the benches report
+    comparable numbers without actually burning hours on the baseline.
+    """
+    if measured_rows <= 0:
+        raise ValueError("measured_rows must be positive")
+    scale = target_rows / measured_rows
+    return measured_seconds * scale * scale

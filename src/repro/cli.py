@@ -1,0 +1,126 @@
+"""Command-line interface: ``repro-discover``.
+
+A small front-end over the library for profiling CSV files from a shell::
+
+    repro-discover data.csv --threshold 0.1 --attributes a b c
+    repro-discover data.csv --exact --max-level 4
+    repro-discover --demo            # run on the paper's Table 1
+
+The CLI prints the discovery summary, the ranked dependencies and (with
+``--outliers``) the most suspicious tuples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.applications.outlier_detection import detect_outliers
+from repro.dataset.csv_io import read_csv
+from repro.dataset.examples import employee_salary_table
+from repro.discovery.api import discover_aods, discover_ods
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-discover",
+        description="Discover (approximate) order dependencies in a CSV file.",
+    )
+    parser.add_argument("csv", nargs="?", help="input CSV file with a header row")
+    parser.add_argument(
+        "--demo", action="store_true",
+        help="ignore the CSV argument and run on the paper's Table 1",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.1,
+        help="approximation threshold in [0, 1] (default 0.1)",
+    )
+    parser.add_argument(
+        "--exact", action="store_true",
+        help="discover exact ODs only (threshold 0)",
+    )
+    parser.add_argument(
+        "--validator", choices=("optimal", "iterative"), default="optimal",
+        help="AOC validation algorithm (default: optimal)",
+    )
+    parser.add_argument(
+        "--attributes", nargs="*", default=None,
+        help="restrict discovery to these attributes",
+    )
+    parser.add_argument(
+        "--max-level", type=int, default=None,
+        help="cap the lattice level (attribute-set size)",
+    )
+    parser.add_argument(
+        "--max-rows", type=int, default=None,
+        help="read at most this many rows from the CSV",
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=None,
+        help="wall-clock budget in seconds",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="number of ranked dependencies to print (default 10)",
+    )
+    parser.add_argument(
+        "--outliers", action="store_true",
+        help="also print the most suspicious tuples",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.demo:
+        relation = employee_salary_table()
+    elif args.csv:
+        relation = read_csv(args.csv, max_rows=args.max_rows)
+    else:
+        parser.print_usage(sys.stderr)
+        print("error: provide a CSV file or --demo", file=sys.stderr)
+        return 2
+
+    if args.exact:
+        result = discover_ods(
+            relation,
+            attributes=args.attributes,
+            max_level=args.max_level,
+            time_limit_seconds=args.time_limit,
+        )
+    else:
+        result = discover_aods(
+            relation,
+            threshold=args.threshold,
+            validator=args.validator,
+            attributes=args.attributes,
+            max_level=args.max_level,
+            time_limit_seconds=args.time_limit,
+        )
+
+    print(result.summary())
+    print()
+    print(f"Top {args.top} order compatibilities:")
+    for found in result.ranked_ocs(args.top):
+        print(f"  {found}")
+    print()
+    print(f"Top {args.top} order functional dependencies:")
+    for found in result.ranked_ofds(args.top):
+        print(f"  {found}")
+
+    if args.outliers:
+        report = detect_outliers(relation, result)
+        print()
+        print("Most suspicious tuples (row index, score):")
+        for row, score in report.top(args.top):
+            print(f"  row {row}: score={score:.3f}, values={relation.row(row)}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

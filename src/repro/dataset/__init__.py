@@ -1,0 +1,28 @@
+"""Dataset substrate: relations, schemas, encodings, partitions, generators.
+
+The discovery and validation algorithms in this package never look at raw
+values directly.  A :class:`~repro.dataset.relation.Relation` is encoded once
+into dense, order-preserving integer ranks per column
+(:class:`~repro.dataset.encoding.EncodedRelation`), and every algorithm then
+operates on those ranks and on equivalence-class partitions
+(:class:`~repro.dataset.partition.Partition`).
+"""
+
+from repro.dataset.schema import Attribute, AttributeType, Schema
+from repro.dataset.relation import Relation
+from repro.dataset.encoding import EncodedRelation, encode_column
+from repro.dataset.partition import Partition, PartitionCache
+from repro.dataset.csv_io import read_csv, write_csv
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "EncodedRelation",
+    "Partition",
+    "PartitionCache",
+    "Relation",
+    "Schema",
+    "encode_column",
+    "read_csv",
+    "write_csv",
+]

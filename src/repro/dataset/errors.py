@@ -1,0 +1,132 @@
+"""Error injection utilities.
+
+The paper motivates approximate dependencies with dirty data: a handful of
+cells carry wrong values (e.g. the ``perc`` column of Table 1 where ``1%``
+was entered as ``10%`` — a concatenated zero), so the intended dependency
+only holds after removing a few tuples.  The synthetic workload generators
+use these helpers to plant such exceptions with a *known* rate, which is
+what lets the benchmarks and tests check approximation factors against the
+planted ground truth.
+
+Every function returns a new column list together with the set of row
+indices whose cells were perturbed; the inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Set, Tuple
+
+
+def _pick_rows(num_rows: int, rate: float, rng: random.Random) -> List[int]:
+    """Choose ``round(rate * num_rows)`` distinct row indices."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"error rate must be in [0, 1], got {rate}")
+    count = int(round(rate * num_rows))
+    count = min(count, num_rows)
+    if count == 0:
+        return []
+    return sorted(rng.sample(range(num_rows), count))
+
+
+def inject_scaling_errors(
+    values: Sequence[float],
+    rate: float,
+    factor: float = 10.0,
+    seed: int = 0,
+) -> Tuple[List[float], Set[int]]:
+    """Multiply a fraction ``rate`` of cells by ``factor``.
+
+    Models the "concatenated zero" data-entry error of Table 1 (1% recorded
+    as 10%).  Scaling errors create swaps against any attribute the column
+    was monotone in, so the intended OC degrades into an AOC whose
+    approximation factor is approximately ``rate``.
+    """
+    rng = random.Random(seed)
+    rows = _pick_rows(len(values), rate, rng)
+    new_values = list(values)
+    for row in rows:
+        new_values[row] = new_values[row] * factor
+    return new_values, set(rows)
+
+
+def inject_value_replacements(
+    values: Sequence[object],
+    rate: float,
+    replacement_pool: Sequence[object],
+    seed: int = 0,
+) -> Tuple[List[object], Set[int]]:
+    """Replace a fraction ``rate`` of cells with values drawn from a pool.
+
+    Models categorical typos and mis-mapped codes (e.g. an airport id mapped
+    to the wrong IATA code), which break otherwise clean OCs between code
+    columns.
+    """
+    rng = random.Random(seed)
+    rows = _pick_rows(len(values), rate, rng)
+    new_values = list(values)
+    for row in rows:
+        new_values[row] = rng.choice(list(replacement_pool))
+    return new_values, set(rows)
+
+
+def inject_pair_swaps(
+    values: Sequence[object], rate: float, seed: int = 0
+) -> Tuple[List[object], Set[int]]:
+    """Swap the cells of randomly chosen disjoint row pairs.
+
+    Each selected pair exchanges its values; in a monotone column this
+    creates exactly the "swap" violations of Definition 2.5.  ``rate`` is the
+    fraction of rows participating in a swap (so ``rate/2`` pairs).
+    """
+    rng = random.Random(seed)
+    rows = _pick_rows(len(values), rate, rng)
+    rng.shuffle(rows)
+    new_values = list(values)
+    touched: Set[int] = set()
+    for i in range(0, len(rows) - 1, 2):
+        first, second = rows[i], rows[i + 1]
+        new_values[first], new_values[second] = new_values[second], new_values[first]
+        touched.add(first)
+        touched.add(second)
+    return new_values, touched
+
+
+def inject_nulls(
+    values: Sequence[object], rate: float, seed: int = 0
+) -> Tuple[List[object], Set[int]]:
+    """Blank out a fraction ``rate`` of cells (set them to ``None``)."""
+    rng = random.Random(seed)
+    rows = _pick_rows(len(values), rate, rng)
+    new_values = list(values)
+    for row in rows:
+        new_values[row] = None
+    return new_values, set(rows)
+
+
+def inject_split_errors(
+    values: Sequence[object],
+    group_keys: Sequence[object],
+    rate: float,
+    seed: int = 0,
+) -> Tuple[List[object], Set[int]]:
+    """Break constancy of ``values`` within groups defined by ``group_keys``.
+
+    For a fraction ``rate`` of rows, the cell is replaced with the value of
+    a row from a *different* group, creating split violations (Definition
+    2.6) against the FD ``group_keys -> values`` while leaving the overall
+    value distribution unchanged.
+    """
+    rng = random.Random(seed)
+    rows = _pick_rows(len(values), rate, rng)
+    new_values = list(values)
+    num_rows = len(values)
+    touched: Set[int] = set()
+    for row in rows:
+        for _ in range(10):  # a handful of attempts to find a different group
+            donor = rng.randrange(num_rows)
+            if group_keys[donor] != group_keys[row]:
+                new_values[row] = values[donor]
+                touched.add(row)
+                break
+    return new_values, touched

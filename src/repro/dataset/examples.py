@@ -1,0 +1,75 @@
+"""Example relations used throughout the paper and the test-suite.
+
+:func:`employee_salary_table` is Table 1 of the paper verbatim; every worked
+example in Sections 1-3 (swaps, splits, removal sets, the failure of the
+iterative validator) is exercised against it in the tests.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.relation import Relation
+from repro.dataset.schema import Attribute, AttributeType, Schema
+
+
+#: Row labels used in the paper (t1..t9) mapped to 0-based row indices.
+EMPLOYEE_TUPLE_IDS = {f"t{i + 1}": i for i in range(9)}
+
+
+def employee_salary_table() -> Relation:
+    """Return Table 1 of the paper (employee salaries).
+
+    The ``perc`` column is stored as a numeric percentage (10% -> 10.0) so
+    that its domain order matches the paper's narrative: the data-entry
+    errors (a concatenated zero, e.g. 10% instead of 1%) are what break the
+    intended OC ``sal ~ tax``.
+    """
+    schema = Schema(
+        [
+            Attribute("pos", AttributeType.STRING),
+            Attribute("exp", AttributeType.INTEGER),
+            Attribute("sal", AttributeType.INTEGER),
+            Attribute("taxGrp", AttributeType.STRING),
+            Attribute("perc", AttributeType.FLOAT),
+            Attribute("tax", AttributeType.FLOAT),
+            Attribute("bonus", AttributeType.INTEGER),
+        ]
+    )
+    rows = [
+        # pos,  exp, sal(K), taxGrp, perc, tax(K), bonus(K)
+        ("sec", 1, 20, "A", 10.0, 2.0, 1),     # t1
+        ("sec", 3, 25, "A", 10.0, 2.5, 1),     # t2
+        ("dev", 1, 30, "A", 1.0, 0.3, 3),      # t3
+        ("sec", 5, 40, "B", 30.0, 12.0, 2),    # t4
+        ("dev", 3, 50, "B", 3.0, 1.5, 4),      # t5
+        ("dev", 5, 55, "B", 30.0, 16.5, 4),    # t6
+        ("dev", 5, 60, "B", 3.0, 1.8, 4),      # t7
+        ("dev", -1, 90, "C", 8.0, 7.2, 7),     # t8
+        ("dir", 8, 200, "C", 8.0, 16.0, 10),   # t9
+    ]
+    columns = {
+        name: [row[i] for row in rows] for i, name in enumerate(schema.names)
+    }
+    return Relation(schema, columns)
+
+
+def tuple_ids_to_rows(names) -> set:
+    """Convert paper tuple labels (``"t1"``) to 0-based row indices."""
+    return {EMPLOYEE_TUPLE_IDS[name] for name in names}
+
+
+def rows_to_tuple_ids(rows) -> set:
+    """Convert 0-based row indices to paper tuple labels (``"t1"``)."""
+    reverse = {index: name for name, index in EMPLOYEE_TUPLE_IDS.items()}
+    return {reverse[row] for row in rows}
+
+
+def tiny_numeric_table() -> Relation:
+    """A minimal 4-row numeric table used in unit tests and docstrings."""
+    return Relation.from_columns(
+        {
+            "a": [1, 2, 3, 4],
+            "b": [10, 20, 30, 40],
+            "c": [1, 1, 2, 2],
+            "d": [4, 3, 2, 1],
+        }
+    )

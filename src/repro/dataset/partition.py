@@ -1,0 +1,254 @@
+"""Equivalence-class partitions (position list indexes).
+
+Definition 2.8 of the paper: an attribute set ``X`` partitions the tuples of
+a table into equivalence classes ``E(t_X) = {s | s_X = t_X}``; the partition
+``Pi_X`` is the set of all such classes.  The canonical OD framework
+validates every candidate *within* the equivalence classes of its context,
+so partitions are the central data structure of the discovery framework.
+
+Following TANE and FASTOD, partitions are stored *stripped*: singleton
+classes are dropped because a class with a single tuple can contain neither
+a swap nor a split.  Partition products (``Pi_{X ∪ Y}`` from ``Pi_X`` and
+``Pi_Y``) are computed with the standard probe-table refinement algorithm,
+which is linear in the number of tuples appearing in the stripped classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+
+class Partition:
+    """A stripped partition of row indices into equivalence classes.
+
+    Attributes
+    ----------
+    classes:
+        List of equivalence classes with at least two members.  Each class
+        is a sorted list of row indices.
+    num_rows:
+        Total number of rows in the underlying relation (including rows in
+        stripped singleton classes).
+    """
+
+    __slots__ = ("classes", "num_rows")
+
+    def __init__(self, classes: Sequence[Sequence[int]], num_rows: int) -> None:
+        self.classes: List[List[int]] = [sorted(c) for c in classes if len(c) >= 2]
+        self.classes.sort(key=lambda c: c[0])
+        self.num_rows = num_rows
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def single(cls, ranks: Sequence[int]) -> "Partition":
+        """Build the partition of a single encoded column."""
+        groups: Dict[int, List[int]] = {}
+        for row, rank in enumerate(ranks):
+            groups.setdefault(rank, []).append(row)
+        return cls(list(groups.values()), len(ranks))
+
+    @classmethod
+    def unit(cls, num_rows: int) -> "Partition":
+        """Partition of the empty attribute set: one class with every row.
+
+        This is the context of level-2 OC candidates such as ``{}: A ~ B``
+        and of level-1 OFD candidates such as ``{}: [] -> A``.
+        """
+        if num_rows <= 1:
+            return cls([], num_rows)
+        return cls([list(range(num_rows))], num_rows)
+
+    @classmethod
+    def from_row_keys(cls, keys: Sequence[Tuple[int, ...]]) -> "Partition":
+        """Build a partition by grouping rows with equal key tuples."""
+        groups: Dict[Tuple[int, ...], List[int]] = {}
+        for row, key in enumerate(keys):
+            groups.setdefault(key, []).append(row)
+        return cls(list(groups.values()), len(keys))
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def num_classes(self) -> int:
+        """Number of (non-singleton) equivalence classes."""
+        return len(self.classes)
+
+    @property
+    def num_grouped_rows(self) -> int:
+        """Number of rows contained in non-singleton classes."""
+        return sum(len(c) for c in self.classes)
+
+    @property
+    def num_singleton_rows(self) -> int:
+        """Number of rows that form singleton classes (stripped away)."""
+        return self.num_rows - self.num_grouped_rows
+
+    def total_class_count(self) -> int:
+        """Number of equivalence classes *including* singletons (``|Pi_X|``)."""
+        return self.num_classes + self.num_singleton_rows
+
+    def error_rows(self) -> int:
+        """TANE's ``||Pi_X||`` error numerator: rows minus classes.
+
+        This equals the minimal number of tuples to remove so that ``X``
+        becomes a key.
+        """
+        return self.num_rows - self.total_class_count()
+
+    def __iter__(self):
+        return iter(self.classes)
+
+    def __len__(self) -> int:
+        return len(self.classes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return self.num_rows == other.num_rows and self.classes == other.classes
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Partition({self.num_classes} stripped classes over "
+            f"{self.num_rows} rows)"
+        )
+
+    # -- refinement ------------------------------------------------------------
+
+    def product(self, ranks: Sequence[int]) -> "Partition":
+        """Refine this partition by an encoded column.
+
+        ``self`` is ``Pi_X``; ``ranks`` is the rank column of an attribute
+        ``A``.  The result is ``Pi_{X ∪ {A}}``, computed by splitting every
+        class of ``Pi_X`` on the ranks of ``A``.
+        """
+        new_classes: List[List[int]] = []
+        for cls_rows in self.classes:
+            groups: Dict[int, List[int]] = {}
+            for row in cls_rows:
+                groups.setdefault(ranks[row], []).append(row)
+            for group in groups.values():
+                if len(group) >= 2:
+                    new_classes.append(group)
+        return Partition(new_classes, self.num_rows)
+
+    def product_partition(self, other: "Partition") -> "Partition":
+        """Compute ``Pi_{X ∪ Y}`` from ``Pi_X`` (self) and ``Pi_Y`` (other).
+
+        Standard TANE probe-table algorithm on stripped partitions.
+        """
+        if self.num_rows != other.num_rows:
+            raise ValueError("partitions are over relations of different sizes")
+        class_of: Dict[int, int] = {}
+        for class_id, rows in enumerate(other.classes):
+            for row in rows:
+                class_of[row] = class_id
+        new_classes: List[List[int]] = []
+        for rows in self.classes:
+            groups: Dict[int, List[int]] = {}
+            for row in rows:
+                other_class = class_of.get(row)
+                if other_class is None:
+                    continue  # row is a singleton in `other`, so also in the product
+                groups.setdefault(other_class, []).append(row)
+            for group in groups.values():
+                if len(group) >= 2:
+                    new_classes.append(group)
+        return Partition(new_classes, self.num_rows)
+
+    def refines(self, other: "Partition") -> bool:
+        """Return ``True`` iff every class of ``self`` is contained in a class
+        of ``other`` (i.e. ``self`` is at least as fine as ``other``)."""
+        class_of: Dict[int, int] = {}
+        for class_id, rows in enumerate(other.classes):
+            for row in rows:
+                class_of[row] = class_id
+        for rows in self.classes:
+            owners = set()
+            for row in rows:
+                owner = class_of.get(row, ("singleton", row))
+                owners.add(owner)
+                if len(owners) > 1:
+                    return False
+        return True
+
+
+class PartitionCache:
+    """Cache of partitions keyed by attribute-index sets.
+
+    The level-wise lattice traversal requests the partition of many
+    overlapping attribute sets; each partition is built once by refining a
+    cached partition of a subset with one more single-attribute partition,
+    as in the TANE / FASTOD implementations.
+    """
+
+    def __init__(self, encoded_relation) -> None:
+        self._encoded = encoded_relation
+        self._cache: Dict[FrozenSet[int], Partition] = {}
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def num_rows(self) -> int:
+        return self._encoded.num_rows
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Cache statistics (``hits``, ``misses``, ``entries``)."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "entries": len(self._cache),
+        }
+
+    def get(self, attribute_indices: Iterable[int]) -> Partition:
+        """Return ``Pi_X`` for the attribute-index set ``attribute_indices``."""
+        key = frozenset(attribute_indices)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        partition = self._build(key)
+        self._cache[key] = partition
+        return partition
+
+    def get_by_names(self, names: Iterable[str]) -> Partition:
+        """Return ``Pi_X`` for attribute *names*."""
+        indices = [self._encoded.schema.index_of(n) for n in names]
+        return self.get(indices)
+
+    def _build(self, key: FrozenSet[int]) -> Partition:
+        if not key:
+            return Partition.unit(self._encoded.num_rows)
+        if len(key) == 1:
+            (index,) = key
+            return Partition.single(self._encoded.ranks_by_index(index))
+        # Prefer extending the largest cached proper subset; fall back to
+        # refining attribute by attribute.
+        best_subset: Optional[FrozenSet[int]] = None
+        for cached_key in self._cache:
+            if cached_key < key and (
+                best_subset is None or len(cached_key) > len(best_subset)
+            ):
+                best_subset = cached_key
+        if best_subset is None:
+            ordered = sorted(key)
+            partition = self.get(ordered[:1])
+            remaining = ordered[1:]
+        else:
+            partition = self._cache[best_subset]
+            remaining = sorted(key - best_subset)
+        for index in remaining:
+            partition = partition.product(self._encoded.ranks_by_index(index))
+        return partition
+
+    def evict_level(self, level: int) -> None:
+        """Drop cached partitions of attribute sets smaller than ``level``.
+
+        The level-wise traversal only ever needs partitions from the two
+        most recent levels; evicting older entries bounds memory on wide
+        schemas, matching the original implementations.
+        """
+        for key in [k for k in self._cache if 0 < len(k) < level]:
+            del self._cache[key]

@@ -1,0 +1,171 @@
+"""Schemas and attributes.
+
+A :class:`Schema` is an ordered collection of named, typed
+:class:`Attribute` objects.  Attribute order matters only for presentation
+(column order in a relation); the dependency model works with attribute
+*names* and converts them to column indices internally.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+class AttributeType(enum.Enum):
+    """Logical type of an attribute.
+
+    The type determines how raw values are compared when building the
+    order-preserving encoding:
+
+    * ``INTEGER`` and ``FLOAT`` compare numerically,
+    * ``STRING`` compares lexicographically,
+    * ``BOOLEAN`` compares ``False < True``.
+
+    Missing values (``None``) are allowed for every type and always sort
+    before any present value, mirroring ``NULLS FIRST`` semantics.
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    BOOLEAN = "boolean"
+
+    @classmethod
+    def infer(cls, values: Iterable[object]) -> "AttributeType":
+        """Infer the narrowest type that can represent ``values``.
+
+        The inference ladder is ``BOOLEAN -> INTEGER -> FLOAT -> STRING``.
+        ``None`` entries are ignored; an all-``None`` column is typed as
+        ``STRING``.
+        """
+        saw_value = False
+        could_be_bool = True
+        could_be_int = True
+        could_be_float = True
+        for value in values:
+            if value is None:
+                continue
+            saw_value = True
+            if not isinstance(value, bool):
+                could_be_bool = False
+            if isinstance(value, bool) or not isinstance(value, int):
+                could_be_int = False
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                could_be_float = False
+            if not (could_be_bool or could_be_int or could_be_float):
+                return cls.STRING
+        if not saw_value:
+            return cls.STRING
+        if could_be_bool:
+            return cls.BOOLEAN
+        if could_be_int:
+            return cls.INTEGER
+        if could_be_float:
+            return cls.FLOAT
+        return cls.STRING
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single named, typed column of a relation."""
+
+    name: str
+    type: AttributeType = AttributeType.STRING
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+        if not isinstance(self.type, AttributeType):
+            raise TypeError(f"type must be an AttributeType, got {self.type!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, duplicate-free collection of attributes."""
+
+    attributes: Tuple[Attribute, ...]
+    _index: dict = field(init=False, repr=False, compare=False, hash=False)
+
+    def __init__(self, attributes: Sequence[Attribute]) -> None:
+        attrs = tuple(attributes)
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate attribute names in schema: {dupes}")
+        object.__setattr__(self, "attributes", attrs)
+        object.__setattr__(self, "_index", {a.name: i for i, a in enumerate(attrs)})
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_names(
+        cls,
+        names: Sequence[str],
+        types: Optional[Sequence[AttributeType]] = None,
+    ) -> "Schema":
+        """Build a schema from bare attribute names (all STRING by default)."""
+        if types is None:
+            types = [AttributeType.STRING] * len(names)
+        if len(types) != len(names):
+            raise ValueError("names and types must have the same length")
+        return cls([Attribute(n, t) for n, t in zip(names, types)])
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        """Attribute names, in schema order."""
+        return [a.name for a in self.attributes]
+
+    def index_of(self, name: str) -> int:
+        """Return the column index of ``name``; raise ``KeyError`` if absent."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(
+                f"attribute {name!r} not in schema {self.names}"
+            ) from None
+
+    def indices_of(self, names: Iterable[str]) -> Tuple[int, ...]:
+        """Return column indices for ``names`` in the given order."""
+        return tuple(self.index_of(n) for n in names)
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the :class:`Attribute` named ``name``."""
+        return self.attributes[self.index_of(name)]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __getitem__(self, index: int) -> Attribute:
+        return self.attributes[index]
+
+    # -- derived schemas -------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema restricted to ``names`` (in the given order)."""
+        return Schema([self.attribute(n) for n in names])
+
+    def rename(self, mapping: dict) -> "Schema":
+        """Return a new schema with attributes renamed according to ``mapping``."""
+        return Schema(
+            [
+                Attribute(mapping.get(a.name, a.name), a.type, a.nullable)
+                for a in self.attributes
+            ]
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)

@@ -1,0 +1,65 @@
+"""Sorted views of equivalence classes.
+
+OC validation repeatedly needs "order the tuples of an equivalence class by
+``[A ASC, B ASC]`` and look at the projection over ``B``" (Algorithm 2,
+line 3) or the variant with a descending tie-break used by the list-based OD
+extension.  These helpers centralise that logic so every validator sorts in
+exactly the same way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def sort_class_asc_asc(
+    rows: Sequence[int], a_ranks: Sequence[int], b_ranks: Sequence[int]
+) -> List[int]:
+    """Sort row indices by ``[A ASC, B ASC]`` (Algorithm 2, line 3)."""
+    return sorted(rows, key=lambda row: (a_ranks[row], b_ranks[row]))
+
+
+def sort_class_asc_desc(
+    rows: Sequence[int], a_ranks: Sequence[int], b_ranks: Sequence[int]
+) -> List[int]:
+    """Sort row indices by ``A`` ascending, breaking ties by ``B`` descending.
+
+    This is the ordering used to extend Algorithm 2 to list-based
+    approximate ODs ``X: A -> B`` (Section 3.3): with the descending
+    tie-break, split violations within an ``A`` group show up as decreases
+    in the ``B`` projection and are therefore removed by the LNDS step.
+    """
+    return sorted(rows, key=lambda row: (a_ranks[row], -b_ranks[row]))
+
+
+def projection(rows: Sequence[int], ranks: Sequence[int]) -> List[int]:
+    """Project sorted row indices onto a rank column (``t_B`` in the paper)."""
+    return [ranks[row] for row in rows]
+
+
+def tie_groups(
+    sorted_rows: Sequence[int], ranks: Sequence[int]
+) -> List[Tuple[int, List[int]]]:
+    """Group consecutive rows of an already-sorted class by equal rank.
+
+    Returns ``[(rank, [rows...]), ...]`` in ascending rank order.  Used by
+    swap counting, where pairs with equal ``A`` values never form swaps.
+    """
+    groups: List[Tuple[int, List[int]]] = []
+    for row in sorted_rows:
+        rank = ranks[row]
+        if groups and groups[-1][0] == rank:
+            groups[-1][1].append(row)
+        else:
+            groups.append((rank, [row]))
+    return groups
+
+
+def is_non_decreasing(values: Sequence[int]) -> bool:
+    """Return ``True`` iff ``values`` is monotonically non-decreasing."""
+    return all(values[i] <= values[i + 1] for i in range(len(values) - 1))
+
+
+def is_strictly_increasing(values: Sequence[int]) -> bool:
+    """Return ``True`` iff ``values`` is strictly increasing."""
+    return all(values[i] < values[i + 1] for i in range(len(values) - 1))

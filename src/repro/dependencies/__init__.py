@@ -1,0 +1,48 @@
+"""Dependency model: ODs, OCs, OFDs, FDs and the canonical mapping.
+
+The paper works with two equivalent representations:
+
+* **list-based** order dependencies ``X ↦→ Y`` over attribute *lists*
+  (:class:`~repro.dependencies.od.ListOD`), the natural ``ORDER BY`` style
+  statement, and
+* **set-based canonical** dependencies with a *context*: canonical order
+  compatibilities ``X: A ~ B``
+  (:class:`~repro.dependencies.oc.CanonicalOC`) and order functional
+  dependencies ``X: [] ↦→ A`` (:class:`~repro.dependencies.ofd.OFD`).
+
+:func:`~repro.dependencies.canonical.canonicalize_list_od` maps the former
+onto a polynomial-size set of the latter (Section 2.2, Example 2.13), which
+is what makes the set-based lattice search of the discovery framework
+possible.
+"""
+
+from repro.dependencies.fd import FD
+from repro.dependencies.oc import CanonicalOC
+from repro.dependencies.od import CanonicalOD, ListOD
+from repro.dependencies.ofd import OFD
+from repro.dependencies.canonical import canonicalize_list_od
+from repro.dependencies.nested_order import nested_compare, nested_leq, nested_lt
+from repro.dependencies.violations import (
+    count_splits,
+    count_swaps,
+    find_splits,
+    find_swaps,
+    od_holds,
+)
+
+__all__ = [
+    "CanonicalOC",
+    "CanonicalOD",
+    "FD",
+    "ListOD",
+    "OFD",
+    "canonicalize_list_od",
+    "count_splits",
+    "count_swaps",
+    "find_splits",
+    "find_swaps",
+    "nested_compare",
+    "nested_leq",
+    "nested_lt",
+    "od_holds",
+]

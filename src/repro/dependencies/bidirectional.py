@@ -1,0 +1,103 @@
+"""Bidirectional order compatibilities (the [10] extension).
+
+The VLDB Journal version of the set-based framework (Szlichta et al. 2018)
+generalises ODs to *bidirectional* statements in which each attribute may be
+ordered ascending or descending — e.g. "the later the flight departs, the
+*less* time remains to the connection".  The unidirectional canonical OC
+``X: A ~ B`` is the special case where both sides are ascending.
+
+The LNDS-based validator extends to the bidirectional case with no change
+to the algorithm: a descending side simply negates that attribute's ranks
+before sorting, because reversing a domain's order turns "non-decreasing"
+into "non-increasing" and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.dependencies.oc import CanonicalOC
+
+
+class BidirectionalOC:
+    """A bidirectional order compatibility ``X: A (asc|desc) ~ B (asc|desc)``."""
+
+    __slots__ = ("context", "a", "b", "a_ascending", "b_ascending")
+
+    def __init__(
+        self,
+        context: Iterable[str],
+        a: str,
+        b: str,
+        a_ascending: bool = True,
+        b_ascending: bool = True,
+    ) -> None:
+        self.context: FrozenSet[str] = frozenset(context)
+        if a == b:
+            raise ValueError(f"trivial bidirectional OC: both sides are {a!r}")
+        if a in self.context or b in self.context:
+            raise ValueError("OC sides must not appear in the context")
+        self.a = a
+        self.b = b
+        self.a_ascending = a_ascending
+        self.b_ascending = b_ascending
+
+    # -- identity ----------------------------------------------------------------
+
+    def key(self) -> Tuple:
+        """Symmetric, polarity-normalised identity.
+
+        Swapping the two sides does not change the statement, and flipping
+        *both* directions does not either (a total order that is ascending in
+        both is descending in both when read backwards); the key normalises
+        accordingly.
+        """
+        first = (self.a, self.a_ascending)
+        second = (self.b, self.b_ascending)
+        if first > second:
+            first, second = second, first
+        if not first[1]:  # normalise polarity: first side ascending
+            first = (first[0], True)
+            second = (second[0], not second[1])
+        return (self.context, first, second)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BidirectionalOC):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        ctx = ", ".join(sorted(self.context))
+        a_dir = "asc" if self.a_ascending else "desc"
+        b_dir = "asc" if self.b_ascending else "desc"
+        return f"BOC({{{ctx}}}: {self.a} [{a_dir}] ~ {self.b} [{b_dir}])"
+
+    # -- helpers -------------------------------------------------------------------
+
+    @property
+    def is_unidirectional(self) -> bool:
+        """True when both sides share the same polarity (equivalent to a
+        plain canonical OC)."""
+        return self.a_ascending == self.b_ascending
+
+    def to_canonical(self) -> CanonicalOC:
+        """The equivalent plain OC (only defined when unidirectional)."""
+        if not self.is_unidirectional:
+            raise ValueError(
+                "a mixed-polarity bidirectional OC has no unidirectional equivalent"
+            )
+        return CanonicalOC(self.context, self.a, self.b)
+
+    def attributes(self) -> FrozenSet[str]:
+        """All attributes mentioned by the statement."""
+        return self.context | {self.a, self.b}
+
+    def flipped_polarity(self) -> "BidirectionalOC":
+        """The same statement with both polarities flipped (equal to self)."""
+        return BidirectionalOC(
+            self.context, self.a, self.b,
+            not self.a_ascending, not self.b_ascending,
+        )

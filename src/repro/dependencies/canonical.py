@@ -1,0 +1,59 @@
+"""The canonical mapping from list-based ODs to set-based canonical ODs.
+
+Section 2.2 of the paper: a list-based OD ``X ↦→ Y`` holds iff
+
+* ``X ↦→ XY`` holds, which is equivalent to every attribute of ``Y`` being
+  constant in the context of the set ``X`` (a collection of OFDs), and
+* ``X ~ Y`` holds, which is equivalent to every pair ``(X_i, Y_j)`` being
+  order compatible in the context of the union of the strict prefixes
+  ``{X_1..X_{i-1}}`` and ``{Y_1..Y_{j-1}}`` (a collection of canonical OCs).
+
+Example 2.13: ``[A, B] ↦→ [C, D]`` maps to
+``{A,B}: [] ↦→ C``, ``{A,B}: [] ↦→ D``, ``{}: A ~ C``, ``{A}: B ~ C``,
+``{C}: A ~ D`` and ``{A, C}: B ~ D``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.dependencies.oc import CanonicalOC
+from repro.dependencies.od import ListOD
+from repro.dependencies.ofd import OFD
+
+CanonicalDependency = Union[CanonicalOC, OFD]
+
+
+def canonicalize_list_od(od: ListOD) -> List[CanonicalDependency]:
+    """Map a list-based OD onto its equivalent set of canonical OCs and OFDs.
+
+    The result preserves the paper's ordering: OFDs first (one per
+    right-hand-side attribute), then OCs in row-major ``(i, j)`` order.
+    Trivial statements (an OC whose two sides are the same attribute, or
+    whose side already appears in its context, and OFDs whose attribute is in
+    the context) are skipped, because they hold vacuously on every relation.
+    """
+    dependencies: List[CanonicalDependency] = []
+    lhs_set = frozenset(od.lhs)
+
+    for attribute in od.rhs:
+        if attribute in lhs_set:
+            continue  # trivially constant within Pi_X, no statement needed
+        dependencies.append(OFD(lhs_set, attribute))
+
+    for i, x_attr in enumerate(od.lhs):
+        for j, y_attr in enumerate(od.rhs):
+            context = frozenset(od.lhs[:i]) | frozenset(od.rhs[:j])
+            if x_attr == y_attr:
+                continue  # A ~ A is trivial
+            if x_attr in context or y_attr in context:
+                continue  # a side that is constant within the context is trivial
+            oc = CanonicalOC(context, x_attr, y_attr)
+            if oc not in dependencies:
+                dependencies.append(oc)
+    return dependencies
+
+
+def canonical_od_components(context, a: str, b: str):
+    """Components of the canonical OD ``X: A ↦→ B`` (``OD ≡ OC + OFD``)."""
+    return CanonicalOC(context, a, b), OFD(frozenset(context) | {a}, b)

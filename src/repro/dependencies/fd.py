@@ -1,0 +1,49 @@
+"""Classic functional dependencies ``X -> A``.
+
+FDs are included because the canonical OD framework factors every OD into an
+order-compatibility part and an FD part (``OD ≡ OC + OFD``), and because the
+TANE baseline discovers FDs directly.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+
+class FD:
+    """A functional dependency with a set-valued left-hand side.
+
+    ``FD({"pos", "exp"}, "sal")`` states that ``pos, exp`` functionally
+    determines ``sal``.
+    """
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Iterable[str], rhs: str) -> None:
+        self.lhs: FrozenSet[str] = frozenset(lhs)
+        self.rhs: str = rhs
+        if rhs in self.lhs:
+            raise ValueError(f"trivial FD: {rhs!r} appears on both sides")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FD):
+            return NotImplemented
+        return self.lhs == other.lhs and self.rhs == other.rhs
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        lhs = ", ".join(sorted(self.lhs)) or "[]"
+        return f"FD({{{lhs}}} -> {self.rhs})"
+
+    def attributes(self) -> FrozenSet[str]:
+        """All attributes mentioned by the dependency."""
+        return self.lhs | {self.rhs}
+
+    def is_trivial(self) -> bool:
+        """An FD is trivial when the right-hand side is in the left-hand side;
+        construction forbids that, so this always returns ``False`` — the
+        method exists for interface symmetry with the other dependency
+        classes."""
+        return False

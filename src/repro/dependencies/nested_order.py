@@ -1,0 +1,57 @@
+"""Nested (lexicographic) order over attribute lists — Definition 2.1.
+
+Given two tuples ``s`` and ``t`` and an attribute list ``X``:
+
+* ``s ⪯_[] t`` always holds,
+* ``s ⪯_[A|T] t`` iff ``s_A < t_A``, or ``s_A = t_A`` and ``s ⪯_T t``,
+* ``s ≺_X t`` iff ``s ⪯_X t`` and not ``t ⪯_X s``.
+
+These operators are defined on the *encoded* relation so that the comparison
+respects each attribute's domain order regardless of its raw Python type.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dataset.encoding import EncodedRelation
+
+
+def nested_compare(
+    encoded: EncodedRelation, s: int, t: int, attributes: Sequence[str]
+) -> int:
+    """Three-way lexicographic comparison of rows ``s`` and ``t`` over
+    ``attributes``.
+
+    Returns ``-1`` if ``s ≺_X t``, ``0`` if the projections are equal, and
+    ``1`` if ``t ≺_X s``.
+    """
+    for attribute in attributes:
+        ranks = encoded.ranks(attribute)
+        if ranks[s] < ranks[t]:
+            return -1
+        if ranks[s] > ranks[t]:
+            return 1
+    return 0
+
+
+def nested_leq(
+    encoded: EncodedRelation, s: int, t: int, attributes: Sequence[str]
+) -> bool:
+    """``s ⪯_X t`` — weak nested order (Definition 2.1)."""
+    return nested_compare(encoded, s, t, attributes) <= 0
+
+
+def nested_lt(
+    encoded: EncodedRelation, s: int, t: int, attributes: Sequence[str]
+) -> bool:
+    """``s ≺_X t`` — strict nested order."""
+    return nested_compare(encoded, s, t, attributes) < 0
+
+
+def sort_rows_by(
+    encoded: EncodedRelation, rows: Sequence[int], attributes: Sequence[str]
+) -> list:
+    """Return ``rows`` sorted by the nested order over ``attributes``."""
+    rank_columns = [encoded.ranks(a) for a in attributes]
+    return sorted(rows, key=lambda row: tuple(col[row] for col in rank_columns))

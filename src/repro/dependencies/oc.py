@@ -1,0 +1,79 @@
+"""Canonical order compatibilities ``X: A ~ B`` — Definition 2.10.
+
+A canonical OC states that, within every equivalence class of the context
+``X``, the attributes ``A`` and ``B`` are order compatible: there is a total
+order of the class's tuples that is sorted by ``A`` and by ``B``
+simultaneously.  Order compatibility is symmetric (``A ~ B`` iff ``B ~ A``),
+so two OCs with the same context and the same unordered attribute pair are
+considered equal.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+
+class CanonicalOC:
+    """A canonical order compatibility ``X: A ~ B``."""
+
+    __slots__ = ("context", "a", "b")
+
+    def __init__(self, context: Iterable[str], a: str, b: str) -> None:
+        self.context: FrozenSet[str] = frozenset(context)
+        if a == b:
+            raise ValueError(f"trivial OC: both sides are {a!r}")
+        if a in self.context or b in self.context:
+            raise ValueError(
+                f"OC sides {a!r}, {b!r} must not appear in the context "
+                f"{sorted(self.context)}"
+            )
+        self.a = a
+        self.b = b
+
+    # -- identity (symmetric in a, b) ------------------------------------------
+
+    def key(self) -> Tuple[FrozenSet[str], FrozenSet[str]]:
+        """Hashable identity: context plus the unordered attribute pair."""
+        return (self.context, frozenset((self.a, self.b)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CanonicalOC):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        ctx = ", ".join(sorted(self.context))
+        return f"OC({{{ctx}}}: {self.a} ~ {self.b})"
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def level(self) -> int:
+        """Lattice level at which this OC is generated (``|X| + 2``).
+
+        The discovery framework checks ``X \\ {A, B}: A ~ B`` while
+        processing the attribute set ``X``; the OC's context has two fewer
+        attributes than its lattice node.
+        """
+        return len(self.context) + 2
+
+    def attributes(self) -> FrozenSet[str]:
+        """All attributes mentioned by the dependency (context plus sides)."""
+        return self.context | {self.a, self.b}
+
+    def flipped(self) -> "CanonicalOC":
+        """Return the symmetric statement ``X: B ~ A`` (equal to ``self``)."""
+        return CanonicalOC(self.context, self.b, self.a)
+
+    def normalized(self) -> "CanonicalOC":
+        """Return the OC with sides in lexicographic order (stable display)."""
+        if self.a <= self.b:
+            return self
+        return self.flipped()
+
+    def is_trivial(self) -> bool:
+        """Canonical OCs constructed through this class are never trivial."""
+        return False

@@ -1,0 +1,125 @@
+"""Order dependencies: list-based ``X ↦→ Y`` and canonical ``X: A ↦→ B``.
+
+:class:`ListOD` is the natural ``ORDER BY``-style statement over attribute
+lists (Definition 2.2).  :class:`CanonicalOD` is the set-based form
+``X: A ↦→ B`` used by the discovery framework: it is logically equivalent to
+the canonical OC ``X: A ~ B`` together with the OFD ``XA: [] ↦→ B``
+(Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.dependencies.oc import CanonicalOC
+from repro.dependencies.ofd import OFD
+
+
+class ListOD:
+    """A list-based order dependency ``X ↦→ Y``.
+
+    ``ListOD(["sal"], ["taxGrp"])`` states that ordering the table by
+    ``sal`` also orders it by ``taxGrp``.  Attribute order within each side
+    matters; duplicates within a side are rejected (they never change the
+    semantics of the nested order and only inflate the statement).
+    """
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Sequence[str], rhs: Sequence[str]) -> None:
+        self.lhs: Tuple[str, ...] = tuple(lhs)
+        self.rhs: Tuple[str, ...] = tuple(rhs)
+        if len(set(self.lhs)) != len(self.lhs):
+            raise ValueError(f"duplicate attributes on the left side: {self.lhs}")
+        if len(set(self.rhs)) != len(self.rhs):
+            raise ValueError(f"duplicate attributes on the right side: {self.rhs}")
+        if not self.rhs:
+            raise ValueError("right side of an OD must be non-empty")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ListOD):
+            return NotImplemented
+        return self.lhs == other.lhs and self.rhs == other.rhs
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        return f"OD([{', '.join(self.lhs)}] -> [{', '.join(self.rhs)}])"
+
+    def attributes(self) -> FrozenSet[str]:
+        """All attributes mentioned by the dependency."""
+        return frozenset(self.lhs) | frozenset(self.rhs)
+
+    def reversed(self) -> "ListOD":
+        """Return ``Y ↦→ X`` (used to express order equivalence)."""
+        return ListOD(self.rhs, self.lhs)
+
+    def canonicalize(self) -> List[object]:
+        """Map to the logically equivalent set of canonical OCs and OFDs.
+
+        See :func:`repro.dependencies.canonical.canonicalize_list_od`.
+        """
+        from repro.dependencies.canonical import canonicalize_list_od
+
+        return canonicalize_list_od(self)
+
+
+class CanonicalOD:
+    """A canonical order dependency ``X: A ↦→ B``.
+
+    Equivalent to ``CanonicalOC(X, A, B)`` plus ``OFD(X ∪ {A}, B)``
+    (Section 2.2: ``OD ≡ OC + OFD``).  The class mostly exists so that
+    discovery results and the list-based validator have a first-class object
+    to report; :meth:`components` exposes the decomposition.
+    """
+
+    __slots__ = ("context", "a", "b")
+
+    def __init__(self, context: Iterable[str], a: str, b: str) -> None:
+        self.context: FrozenSet[str] = frozenset(context)
+        if a == b:
+            raise ValueError(f"trivial OD: both sides are {a!r}")
+        if a in self.context or b in self.context:
+            raise ValueError(
+                f"OD sides {a!r}, {b!r} must not appear in the context "
+                f"{sorted(self.context)}"
+            )
+        self.a = a
+        self.b = b
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CanonicalOD):
+            return NotImplemented
+        return (
+            self.context == other.context and self.a == other.a and self.b == other.b
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.context, self.a, self.b))
+
+    def __repr__(self) -> str:
+        ctx = ", ".join(sorted(self.context))
+        return f"OD({{{ctx}}}: {self.a} -> {self.b})"
+
+    @property
+    def level(self) -> int:
+        """Lattice level at which this OD is generated (``|X| + 2``)."""
+        return len(self.context) + 2
+
+    def attributes(self) -> FrozenSet[str]:
+        """All attributes mentioned by the dependency."""
+        return self.context | {self.a, self.b}
+
+    def components(self) -> Tuple[CanonicalOC, OFD]:
+        """Return the canonical OC and OFD whose conjunction equals this OD."""
+        return (
+            CanonicalOC(self.context, self.a, self.b),
+            OFD(self.context | {self.a}, self.b),
+        )
+
+    def to_list_od(self) -> ListOD:
+        """Return an equivalent list-based OD ``X'A ↦→ X'B`` (one particular
+        permutation of the context is chosen: lexicographic order)."""
+        prefix = tuple(sorted(self.context))
+        return ListOD(prefix + (self.a,), prefix + (self.b,))

@@ -1,0 +1,64 @@
+"""Order functional dependencies ``X: [] ↦→ A`` — Definition 2.11.
+
+An OFD states that the attribute ``A`` is constant within every equivalence
+class of the context ``X``; it is logically equivalent to the list-based OD
+``X' ↦→ X'A`` for any permutation ``X'`` of ``X``, and to the classic FD
+``X -> A``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+
+class OFD:
+    """An order functional dependency ``X: [] ↦→ A``."""
+
+    __slots__ = ("context", "attribute")
+
+    def __init__(self, context: Iterable[str], attribute: str) -> None:
+        self.context: FrozenSet[str] = frozenset(context)
+        if attribute in self.context:
+            raise ValueError(
+                f"trivial OFD: {attribute!r} appears in the context "
+                f"{sorted(self.context)}"
+            )
+        self.attribute = attribute
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OFD):
+            return NotImplemented
+        return self.context == other.context and self.attribute == other.attribute
+
+    def __hash__(self) -> int:
+        return hash((self.context, self.attribute))
+
+    def __repr__(self) -> str:
+        ctx = ", ".join(sorted(self.context))
+        return f"OFD({{{ctx}}}: [] -> {self.attribute})"
+
+    @property
+    def level(self) -> int:
+        """Lattice level at which this OFD is generated (``|X| + 1``)."""
+        return len(self.context) + 1
+
+    def attributes(self) -> FrozenSet[str]:
+        """All attributes mentioned by the dependency."""
+        return self.context | {self.attribute}
+
+    def to_fd(self):
+        """Return the equivalent classic FD ``X -> A`` (empty contexts map to
+        an FD with an empty left-hand side, i.e. "A is constant")."""
+        from repro.dependencies.fd import FD
+
+        if not self.context:
+            # FD with empty LHS: representable, means the attribute is constant.
+            fd = FD.__new__(FD)
+            fd.lhs = frozenset()
+            fd.rhs = self.attribute
+            return fd
+        return FD(self.context, self.attribute)
+
+    def is_trivial(self) -> bool:
+        """OFDs constructed through this class are never trivial."""
+        return False

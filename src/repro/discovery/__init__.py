@@ -1,0 +1,48 @@
+"""Set-based lattice discovery framework for ODs and AODs (Figure 1).
+
+The framework traverses the lattice of attribute sets level by level
+(Section 3.1).  While processing an attribute set ``X`` it validates
+
+* OFD candidates ``X \\ {A}: [] ↦→ A`` for every ``A ∈ X``, and
+* OC candidates ``X \\ {A, B}: A ~ B`` for every pair ``A ≠ B`` in ``X``,
+
+pruning candidates with the set-based axioms so that only *minimal*
+dependencies are reported, and generating the next level only from nodes
+that can still produce candidates.  The AOC validation step is pluggable:
+``"optimal"`` selects the paper's LNDS-based Algorithm 2, ``"iterative"``
+the greedy baseline, and ``"exact"`` the linear exact check used for
+ordinary OD discovery (the ``ε = 0`` special case).
+
+Public entry points:
+
+* :func:`discover_ods` — exact OD discovery (FASTOD-style),
+* :func:`discover_aods` — approximate OD discovery with a threshold,
+* :class:`DiscoveryConfig` / :class:`DiscoveryResult` for fine control and
+  rich results (per-level counts, rankings, phase timings).
+"""
+
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.results import (
+    DiscoveredOC,
+    DiscoveredOFD,
+    DiscoveryResult,
+)
+from repro.discovery.stats import DiscoveryStatistics
+from repro.discovery.engine import DiscoveryEngine
+from repro.discovery.api import discover_aods, discover_ods
+from repro.discovery.interestingness import interestingness_score
+from repro.discovery.sampling import prefilter_candidates, validate_aoc_hybrid
+
+__all__ = [
+    "DiscoveredOC",
+    "DiscoveredOFD",
+    "DiscoveryConfig",
+    "DiscoveryEngine",
+    "DiscoveryResult",
+    "DiscoveryStatistics",
+    "discover_aods",
+    "discover_ods",
+    "interestingness_score",
+    "prefilter_candidates",
+    "validate_aoc_hybrid",
+]

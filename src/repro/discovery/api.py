@@ -1,0 +1,86 @@
+"""Convenience entry points for OD / AOD discovery."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.dataset.relation import Relation
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import DiscoveryEngine
+from repro.discovery.results import DiscoveryResult
+
+
+def discover_ods(
+    relation: Relation,
+    attributes: Optional[Sequence[str]] = None,
+    max_level: Optional[int] = None,
+    time_limit_seconds: Optional[float] = None,
+    find_ofds: bool = True,
+) -> DiscoveryResult:
+    """Discover all minimal *exact* canonical ODs (OCs and OFDs).
+
+    This is the FASTOD-style baseline the paper labels "OD" in Figures 2
+    and 3: the approximation threshold is zero and the linear exact OC check
+    is used for validation.
+
+    Examples
+    --------
+    >>> from repro.dataset.examples import employee_salary_table
+    >>> result = discover_ods(employee_salary_table())
+    >>> result.find_oc("sal", "taxGrp") is not None
+    True
+    """
+    config = DiscoveryConfig.exact(
+        attributes=attributes,
+        max_level=max_level,
+        time_limit_seconds=time_limit_seconds,
+        find_ofds=find_ofds,
+    )
+    return DiscoveryEngine(relation, config).run()
+
+
+def discover_aods(
+    relation: Relation,
+    threshold: float = 0.1,
+    validator: str = "optimal",
+    attributes: Optional[Sequence[str]] = None,
+    max_level: Optional[int] = None,
+    time_limit_seconds: Optional[float] = None,
+    find_ofds: bool = True,
+) -> DiscoveryResult:
+    """Discover all minimal *approximate* canonical ODs w.r.t. ``threshold``.
+
+    Parameters
+    ----------
+    relation:
+        The table to profile.
+    threshold:
+        The approximation threshold ``ε`` (default 10%, the paper's default).
+    validator:
+        ``"optimal"`` for the paper's LNDS-based Algorithm 2 (default) or
+        ``"iterative"`` for the greedy baseline it replaces.
+    attributes, max_level, time_limit_seconds, find_ofds:
+        See :class:`repro.discovery.DiscoveryConfig`.
+
+    Examples
+    --------
+    >>> from repro.dataset.examples import employee_salary_table
+    >>> result = discover_aods(employee_salary_table(), threshold=0.15)
+    >>> found = result.find_oc("exp", "sal", context=("pos",))
+    >>> found is not None and found.removal_size == 1
+    True
+    """
+    config = DiscoveryConfig.approximate(
+        threshold=threshold,
+        validator=validator,
+        attributes=attributes,
+        max_level=max_level,
+        time_limit_seconds=time_limit_seconds,
+        find_ofds=find_ofds,
+    )
+    return DiscoveryEngine(relation, config).run()
+
+
+def discover(relation: Relation, config: DiscoveryConfig) -> DiscoveryResult:
+    """Run discovery with an explicit :class:`DiscoveryConfig`."""
+    return DiscoveryEngine(relation, config).run()

@@ -1,0 +1,98 @@
+"""Configuration of a discovery run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+#: The validator names accepted by :class:`DiscoveryConfig.validator`.
+VALIDATOR_KINDS = ("exact", "optimal", "iterative")
+
+
+@dataclass
+class DiscoveryConfig:
+    """Parameters controlling a lattice discovery run.
+
+    Attributes
+    ----------
+    threshold:
+        Approximation threshold ``ε`` in ``[0, 1]``.  ``0`` means exact OD
+        discovery; the paper's default for AOD experiments is ``0.1`` (10%).
+    validator:
+        Which AOC validation algorithm to use: ``"optimal"`` (Algorithm 2),
+        ``"iterative"`` (Algorithm 1) or ``"exact"`` (linear check, only
+        meaningful with ``threshold == 0``).
+    attributes:
+        Optional subset of attributes to restrict the search to (the paper
+        uses the first 10 attributes of each dataset unless stated
+        otherwise).
+    max_level:
+        Optional cap on the lattice level (attribute-set size) explored.
+    time_limit_seconds:
+        Optional wall-clock budget; when exceeded the run stops early and
+        the result is marked ``timed_out`` (this models the paper's 24-hour
+        cut-off for the iterative algorithm).
+    find_ofds:
+        Whether OFD candidates are validated and reported.  The paper's
+        experiments focus on OCs; OFD validation is cheap and enabled by
+        default because its results drive OC pruning.
+    aggressive_ofd_pruning:
+        Apply TANE's right-hand-side pruning rule (remove ``R \\ X`` from the
+        candidate set) when an OFD holds *exactly*.  Always sound; disabled
+        automatically for approximately-held OFDs.
+    prune_exhausted_nodes:
+        FASTOD/TANE-style node deletion: a lattice node whose candidate sets
+        are both empty is dropped, which stops any of its supersets from
+        being generated.  This is what keeps the search tractable on wider
+        schemas and what lets AOD discovery overtake exact OD discovery
+        (Exp-5).  Setting it to ``False`` keeps every node alive and makes
+        the search exhaustively complete at exponential cost — used by the
+        test-suite's brute-force comparisons and useful on narrow schemas.
+    progress_callback:
+        Optional callable invoked as ``callback(level, nodes)`` at the start
+        of every lattice level (used by the CLI for progress output).
+    """
+
+    threshold: float = 0.0
+    validator: str = "optimal"
+    attributes: Optional[Sequence[str]] = None
+    max_level: Optional[int] = None
+    time_limit_seconds: Optional[float] = None
+    find_ofds: bool = True
+    aggressive_ofd_pruning: bool = True
+    prune_exhausted_nodes: bool = True
+    progress_callback: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in [0, 1], got {self.threshold}"
+            )
+        if self.validator not in VALIDATOR_KINDS:
+            raise ValueError(
+                f"validator must be one of {VALIDATOR_KINDS}, got {self.validator!r}"
+            )
+        if self.validator == "exact" and self.threshold > 0:
+            raise ValueError(
+                "the exact validator cannot be used with a non-zero threshold"
+            )
+        if self.max_level is not None and self.max_level < 1:
+            raise ValueError("max_level must be at least 1")
+
+    @property
+    def is_exact(self) -> bool:
+        """``True`` when the run performs exact OD discovery (``ε = 0``)."""
+        return self.threshold == 0.0
+
+    @classmethod
+    def exact(cls, **kwargs) -> "DiscoveryConfig":
+        """Configuration for exact OD discovery (the paper's "OD" series)."""
+        kwargs.setdefault("validator", "exact")
+        return cls(threshold=0.0, **kwargs)
+
+    @classmethod
+    def approximate(cls, threshold: float = 0.1, validator: str = "optimal",
+                    **kwargs) -> "DiscoveryConfig":
+        """Configuration for AOD discovery (default ``ε = 10%`` as in the paper)."""
+        return cls(threshold=threshold, validator=validator, **kwargs)

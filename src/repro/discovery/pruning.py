@@ -1,0 +1,110 @@
+"""Axiom-based pruning rules (Figure 1, box 2).
+
+The set-based framework avoids validating candidates that are either
+*implied* by dependencies already found at lower lattice levels or that can
+never be minimal.  The rules implemented here follow the FASTOD axioms as
+used by the paper's framework:
+
+1. **OFD minimality** — once ``X \\ {A}: [] ↦→ A`` is found valid, ``A`` is
+   removed from the node's OFD candidate set, so no superset context is ever
+   reported for the same right-hand side (it would not be minimal).
+2. **OFD right-hand-side pruning** (exact only) — TANE's rule: when
+   ``X \\ {A} -> A`` holds exactly, every attribute outside ``X`` is removed
+   from the candidate set as well, because any FD it would yield at a
+   superset is implied.
+3. **OC minimality** — once ``X \\ {A, B}: A ~ B`` is found valid, the pair
+   is removed from the node's OC candidate set, so supersets (weaker
+   statements with larger contexts) are never reported.
+4. **Constant-side pruning** — if ``A`` (or ``B``) is known to be constant
+   in the context ``X \\ {A, B}`` (an OFD found one level below), then the
+   OC ``X \\ {A, B}: A ~ B`` holds trivially and is not reported; the pair
+   is pruned so that supersets skip it too.
+5. **Node deletion** — a node with no remaining candidates of either kind is
+   dropped, which stops the prefix join from ever generating its supersets.
+
+Rules 1-4 are local predicates used by the engine; rule 5 lives in the
+engine's level loop.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set, Tuple
+
+from repro.dependencies.ofd import OFD
+
+AttributeSet = FrozenSet[str]
+ValidOFDKey = Tuple[AttributeSet, str]
+
+
+class KnowledgeBase:
+    """Dependencies discovered so far, indexed for pruning lookups."""
+
+    def __init__(self) -> None:
+        self._valid_ofds: Set[ValidOFDKey] = set()
+        self._exactly_valid_ofds: Set[ValidOFDKey] = set()
+        self._constant_attributes: Set[str] = set()
+
+    # -- recording -------------------------------------------------------------
+
+    def record_ofd(self, ofd: OFD, holds_exactly: bool) -> None:
+        """Register a valid (A)OFD for later pruning decisions."""
+        key = (ofd.context, ofd.attribute)
+        self._valid_ofds.add(key)
+        if holds_exactly:
+            self._exactly_valid_ofds.add(key)
+        if not ofd.context:
+            self._constant_attributes.add(ofd.attribute)
+
+    # -- queries used by the pruning rules --------------------------------------
+
+    def ofd_known_valid(self, context: AttributeSet, attribute: str) -> bool:
+        """Is ``context: [] ↦→ attribute`` already known to hold (approximately)?"""
+        return (context, attribute) in self._valid_ofds
+
+    def ofd_known_exact(self, context: AttributeSet, attribute: str) -> bool:
+        """Is ``context: [] ↦→ attribute`` already known to hold exactly?"""
+        return (context, attribute) in self._exactly_valid_ofds
+
+    def is_constant(self, attribute: str) -> bool:
+        """Is the attribute constant over the whole relation (level-1 OFD)?"""
+        return attribute in self._constant_attributes
+
+    @property
+    def num_valid_ofds(self) -> int:
+        return len(self._valid_ofds)
+
+
+def oc_pruned_by_constancy(
+    context: AttributeSet, a: str, b: str, knowledge: KnowledgeBase
+) -> bool:
+    """Rule 4: the OC is implied when either side is constant in its context.
+
+    If ``context: [] ↦→ A`` holds then within every equivalence class of the
+    context all ``A`` values are equal, so any ordering of the class is
+    trivially sorted by ``A`` — ``A ~ B`` cannot be violated.  The same holds
+    symmetrically for ``B``.  (For approximately-held OFDs the implication
+    is approximate as well: the same removal set works, so the OC's
+    approximation factor is no larger than the OFD's and the candidate is
+    still redundant at the configured threshold.)
+    """
+    return knowledge.ofd_known_valid(context, a) or knowledge.ofd_known_valid(
+        context, b
+    )
+
+
+def ofd_pruned_by_subcontext(
+    context: AttributeSet, attribute: str, knowledge: KnowledgeBase
+) -> bool:
+    """Rule 1 restated as a predicate: a strictly smaller context already
+    determines the attribute, so this candidate cannot be minimal.
+
+    The candidate-set intersection normally takes care of this; the explicit
+    check guards the first level at which a context appears and keeps the
+    engine robust if candidate bookkeeping is relaxed (e.g. in tests).
+    """
+    if knowledge.ofd_known_valid(context, attribute):
+        return True
+    for removed in context:
+        if knowledge.ofd_known_valid(context - {removed}, attribute):
+            return True
+    return False

@@ -1,0 +1,163 @@
+"""Discovery result containers.
+
+Discovered dependencies carry, besides the dependency statement itself, the
+measured approximation factor, the lattice level they were found at and
+their interestingness score — everything the paper's Exp-4/5/6 report on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dependencies.oc import CanonicalOC
+from repro.dependencies.ofd import OFD
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.stats import DiscoveryStatistics
+
+
+@dataclass(frozen=True)
+class DiscoveredOC:
+    """A canonical OC found valid by a discovery run."""
+
+    oc: CanonicalOC
+    approximation_factor: float
+    removal_size: int
+    level: int
+    interestingness: float = 0.0
+
+    @property
+    def is_exact(self) -> bool:
+        """``True`` when the OC holds with no exceptions."""
+        return self.removal_size == 0
+
+    def __str__(self) -> str:
+        kind = "OC" if self.is_exact else f"AOC(e={self.approximation_factor:.3f})"
+        return f"{kind} level={self.level} {self.oc!r}"
+
+
+@dataclass(frozen=True)
+class DiscoveredOFD:
+    """An OFD found valid by a discovery run."""
+
+    ofd: OFD
+    approximation_factor: float
+    removal_size: int
+    level: int
+    interestingness: float = 0.0
+
+    @property
+    def is_exact(self) -> bool:
+        """``True`` when the OFD holds with no exceptions."""
+        return self.removal_size == 0
+
+    def __str__(self) -> str:
+        kind = "OFD" if self.is_exact else f"AOFD(e={self.approximation_factor:.3f})"
+        return f"{kind} level={self.level} {self.ofd!r}"
+
+
+@dataclass
+class DiscoveryResult:
+    """The complete outcome of one discovery run."""
+
+    config: DiscoveryConfig
+    num_rows: int
+    attributes: List[str]
+    ocs: List[DiscoveredOC] = field(default_factory=list)
+    ofds: List[DiscoveredOFD] = field(default_factory=list)
+    stats: DiscoveryStatistics = field(default_factory=DiscoveryStatistics)
+
+    # -- simple counts ----------------------------------------------------------
+
+    @property
+    def num_ocs(self) -> int:
+        """Number of valid (A)OCs discovered."""
+        return len(self.ocs)
+
+    @property
+    def num_ofds(self) -> int:
+        """Number of valid (A)OFDs discovered."""
+        return len(self.ofds)
+
+    @property
+    def num_dependencies(self) -> int:
+        """Total number of dependencies discovered."""
+        return self.num_ocs + self.num_ofds
+
+    @property
+    def timed_out(self) -> bool:
+        """``True`` when the run was cut off by the configured time limit."""
+        return self.stats.timed_out
+
+    # -- level analytics (Exp-5) ------------------------------------------------
+
+    def ocs_per_level(self) -> Dict[int, int]:
+        """Histogram of discovered OCs by lattice level (Figure 5)."""
+        histogram: Dict[int, int] = {}
+        for found in self.ocs:
+            histogram[found.level] = histogram.get(found.level, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def ofds_per_level(self) -> Dict[int, int]:
+        """Histogram of discovered OFDs by lattice level."""
+        histogram: Dict[int, int] = {}
+        for found in self.ofds:
+            histogram[found.level] = histogram.get(found.level, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def average_oc_level(self) -> Optional[float]:
+        """Mean lattice level of the discovered OCs (Exp-5 reports the drop
+        of this value when moving from exact OCs to AOCs)."""
+        if not self.ocs:
+            return None
+        return sum(found.level for found in self.ocs) / len(self.ocs)
+
+    # -- ranking (Figure 1, box 4) ----------------------------------------------
+
+    def ranked_ocs(self, top_k: Optional[int] = None) -> List[DiscoveredOC]:
+        """OCs sorted by decreasing interestingness score."""
+        ranked = sorted(self.ocs, key=lambda f: (-f.interestingness, f.level))
+        return ranked if top_k is None else ranked[:top_k]
+
+    def ranked_ofds(self, top_k: Optional[int] = None) -> List[DiscoveredOFD]:
+        """OFDs sorted by decreasing interestingness score."""
+        ranked = sorted(self.ofds, key=lambda f: (-f.interestingness, f.level))
+        return ranked if top_k is None else ranked[:top_k]
+
+    # -- lookups ----------------------------------------------------------------
+
+    def find_oc(self, a: str, b: str, context=()) -> Optional[DiscoveredOC]:
+        """Find a discovered OC by its statement (symmetric in ``a``/``b``)."""
+        wanted = CanonicalOC(context, a, b)
+        for found in self.ocs:
+            if found.oc == wanted:
+                return found
+        return None
+
+    def find_ofd(self, attribute: str, context=()) -> Optional[DiscoveredOFD]:
+        """Find a discovered OFD by its statement."""
+        wanted = OFD(context, attribute)
+        for found in self.ofds:
+            if found.ofd == wanted:
+                return found
+        return None
+
+    def oc_statements(self) -> List[CanonicalOC]:
+        """The bare OC statements (used for set comparisons across runs)."""
+        return [found.oc for found in self.ocs]
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary (used by the CLI and examples)."""
+        mode = "exact" if self.config.is_exact else (
+            f"approximate (ε={self.config.threshold:.0%}, {self.config.validator})"
+        )
+        lines = [
+            f"Discovery mode: {mode}",
+            f"Relation: {self.num_rows} rows, {len(self.attributes)} attributes",
+            f"Discovered: {self.num_ocs} OCs, {self.num_ofds} OFDs "
+            f"in {self.stats.total_seconds:.3f}s"
+            + (" (timed out)" if self.timed_out else ""),
+            f"Validation share of runtime: {self.stats.validation_share:.1%}",
+            f"OCs per level: {self.ocs_per_level()}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Hybrid, sampling-assisted AOC validation (the paper's future work, §5).
+
+The conclusions point to "new approaches for discovering approximate OCs,
+such as hybrid sampling, as done in [Papenbrock & Naumann, SIGMOD 2016] for
+FDs".  This module implements the sound half of that idea:
+
+**Sound sample-based rejection.**  For any subset ``r' ⊆ r`` and any OC
+``φ``, a minimal removal set of ``r`` intersected with ``r'`` is a removal
+set of ``r'``, so ``|minimal removal of r'| ≤ |minimal removal of r|``.
+Consequently, if already the *sample* needs more than ``ε·|r|`` removals
+(note: the budget of the **full** relation), the candidate cannot be valid
+on the full relation and can be rejected without ever touching the rest of
+the data.  Rejection is therefore exact — no false negatives — while
+acceptance still requires a full validation pass.
+
+On dirty candidates (the overwhelming majority in a lattice search) the
+sample check answers in ``O(s log s)`` for a sample of size ``s``, which is
+where the hybrid saves time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dataset.partition import PartitionCache
+from repro.dataset.relation import Relation
+from repro.dependencies.oc import CanonicalOC
+from repro.validation.approx_oc_optimal import (
+    optimal_removal_rows,
+    validate_aoc_optimal,
+)
+from repro.validation.common import context_classes, removal_limit
+from repro.validation.result import ValidationResult
+
+
+@dataclass
+class HybridValidationOutcome:
+    """Result of a hybrid validation, with provenance information."""
+
+    result: ValidationResult
+    rejected_by_sample: bool
+    sample_size: int
+    sample_removal: int
+
+    @property
+    def is_valid(self) -> bool:
+        return self.result.is_valid
+
+
+def sample_rows(num_rows: int, sample_size: int, seed: int = 0) -> List[int]:
+    """Uniform sample (without replacement) of row indices, deterministic."""
+    if sample_size >= num_rows:
+        return list(range(num_rows))
+    rng = random.Random(seed)
+    return sorted(rng.sample(range(num_rows), sample_size))
+
+
+def _sample_removal_count(
+    relation: Relation,
+    oc: CanonicalOC,
+    rows: Sequence[int],
+) -> int:
+    """Minimal removal count of the OC restricted to the sampled rows."""
+    encoded = relation.encoded()
+    a_ranks = encoded.ranks(oc.a)
+    b_ranks = encoded.ranks(oc.b)
+    sampled = set(rows)
+    # Build the context classes of the *full* relation and intersect with the
+    # sample; this keeps the encoding shared and the classes consistent.
+    classes = context_classes(relation, oc.context)
+    sample_classes = []
+    for class_rows in classes:
+        restricted = [row for row in class_rows if row in sampled]
+        if len(restricted) >= 2:
+            sample_classes.append(restricted)
+    removal, _ = optimal_removal_rows(sample_classes, a_ranks, b_ranks)
+    return len(removal)
+
+
+def validate_aoc_hybrid(
+    relation: Relation,
+    oc: CanonicalOC,
+    threshold: float,
+    sample_size: int = 500,
+    seed: int = 0,
+    partition_cache: Optional[PartitionCache] = None,
+) -> HybridValidationOutcome:
+    """Validate an AOC with a sound sample-based fast path.
+
+    1. Compute the minimal removal count on a uniform sample.
+    2. If it already exceeds ``⌊ε·|r|⌋`` (the full relation's budget), reject
+       without full validation — provably correct, see the module docstring.
+    3. Otherwise run Algorithm 2 on the full relation.
+    """
+    limit = removal_limit(relation.num_rows, threshold)
+    rows = sample_rows(relation.num_rows, sample_size, seed)
+    sample_removal = _sample_removal_count(relation, oc, rows)
+    if limit is not None and sample_removal > limit:
+        rejected = ValidationResult(
+            dependency=oc,
+            num_rows=relation.num_rows,
+            removal_rows=frozenset(),
+            threshold=threshold,
+            exceeded_threshold=True,
+        )
+        return HybridValidationOutcome(
+            result=rejected,
+            rejected_by_sample=True,
+            sample_size=len(rows),
+            sample_removal=sample_removal,
+        )
+    full = validate_aoc_optimal(
+        relation, oc, threshold=threshold, partition_cache=partition_cache
+    )
+    return HybridValidationOutcome(
+        result=full,
+        rejected_by_sample=False,
+        sample_size=len(rows),
+        sample_removal=sample_removal,
+    )
+
+
+def prefilter_candidates(
+    relation: Relation,
+    candidates: Sequence[CanonicalOC],
+    threshold: float,
+    sample_size: int = 500,
+    seed: int = 0,
+) -> Tuple[List[CanonicalOC], List[CanonicalOC]]:
+    """Split candidates into (survivors, rejected) using only the sample.
+
+    Every rejected candidate is guaranteed invalid on the full relation;
+    survivors still need full validation.  Intended as a cheap screening
+    pass before handing the survivors to the discovery engine or to
+    :func:`validate_aoc_hybrid`.
+    """
+    limit = removal_limit(relation.num_rows, threshold)
+    rows = sample_rows(relation.num_rows, sample_size, seed)
+    survivors: List[CanonicalOC] = []
+    rejected: List[CanonicalOC] = []
+    for oc in candidates:
+        if limit is not None and _sample_removal_count(relation, oc, rows) > limit:
+            rejected.append(oc)
+        else:
+            survivors.append(oc)
+    return survivors, rejected

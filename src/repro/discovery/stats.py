@@ -1,0 +1,91 @@
+"""Instrumentation collected during a discovery run.
+
+The paper's Exp-3 reports that with the iterative validator "up to 99.6% of
+the total runtime is spent on validation", and that the LNDS-based validator
+reduces time spent validating AOCs by up to 99.8%.  Reproducing those
+numbers requires phase-level timers inside the discovery loop; this module
+holds them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class DiscoveryStatistics:
+    """Counters and timers for one discovery run."""
+
+    total_seconds: float = 0.0
+    oc_validation_seconds: float = 0.0
+    ofd_validation_seconds: float = 0.0
+    partition_seconds: float = 0.0
+    candidate_generation_seconds: float = 0.0
+
+    oc_candidates_validated: int = 0
+    ofd_candidates_validated: int = 0
+    oc_candidates_pruned: int = 0
+    ofd_candidates_pruned: int = 0
+    nodes_processed: int = 0
+    nodes_pruned: int = 0
+    levels_processed: int = 0
+    nodes_per_level: Dict[int, int] = field(default_factory=dict)
+    timed_out: bool = False
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def validation_seconds(self) -> float:
+        """Total time spent validating candidates (OC + OFD)."""
+        return self.oc_validation_seconds + self.ofd_validation_seconds
+
+    @property
+    def validation_share(self) -> float:
+        """Fraction of the total runtime spent in validation (Exp-3)."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return min(1.0, self.validation_seconds / self.total_seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten to a plain dict (used by the benchmark reporters)."""
+        return {
+            "total_seconds": self.total_seconds,
+            "oc_validation_seconds": self.oc_validation_seconds,
+            "ofd_validation_seconds": self.ofd_validation_seconds,
+            "partition_seconds": self.partition_seconds,
+            "candidate_generation_seconds": self.candidate_generation_seconds,
+            "validation_share": self.validation_share,
+            "oc_candidates_validated": self.oc_candidates_validated,
+            "ofd_candidates_validated": self.ofd_candidates_validated,
+            "oc_candidates_pruned": self.oc_candidates_pruned,
+            "ofd_candidates_pruned": self.ofd_candidates_pruned,
+            "nodes_processed": self.nodes_processed,
+            "nodes_pruned": self.nodes_pruned,
+            "levels_processed": self.levels_processed,
+            "timed_out": self.timed_out,
+        }
+
+
+class PhaseTimer:
+    """Context manager adding elapsed wall-clock time to a statistics field.
+
+    Usage::
+
+        with PhaseTimer(stats, "oc_validation_seconds"):
+            validate(...)
+    """
+
+    def __init__(self, stats: DiscoveryStatistics, field_name: str) -> None:
+        self._stats = stats
+        self._field = field_name
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        setattr(self._stats, self._field, getattr(self._stats, self._field) + elapsed)

@@ -1,0 +1,80 @@
+"""Validation of bidirectional (mixed asc/desc) order compatibilities.
+
+See :mod:`repro.dependencies.bidirectional`.  A descending side is handled
+by negating that attribute's ranks: reversing a domain's order maps the
+non-decreasing-subsequence criterion of Algorithm 2 onto the reversed
+domain, so the unchanged LNDS kernel still produces a minimal removal set.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dataset.partition import PartitionCache
+from repro.dataset.relation import Relation
+from repro.dependencies.bidirectional import BidirectionalOC
+from repro.validation.approx_oc_optimal import optimal_removal_rows
+from repro.validation.common import context_classes, removal_limit
+from repro.validation.result import ValidationResult
+
+
+def _oriented_ranks(ranks: Sequence[int], ascending: bool) -> List[int]:
+    """Return the ranks, negated when the side is descending."""
+    if ascending:
+        return list(ranks)
+    return [-rank for rank in ranks]
+
+
+def validate_aboc_optimal(
+    relation: Relation,
+    boc: BidirectionalOC,
+    threshold: Optional[float] = None,
+    partition_cache: Optional[PartitionCache] = None,
+) -> ValidationResult:
+    """Validate an approximate bidirectional OC with the LNDS method.
+
+    Examples
+    --------
+    >>> from repro.dataset.relation import Relation
+    >>> from repro.dependencies.bidirectional import BidirectionalOC
+    >>> table = Relation.from_columns({"year": [1990, 1995, 2001], "age": [30, 25, 19]})
+    >>> boc = BidirectionalOC([], "year", "age", a_ascending=True, b_ascending=False)
+    >>> validate_aboc_optimal(table, boc).holds_exactly
+    True
+    """
+    encoded = relation.encoded()
+    a_ranks = _oriented_ranks(encoded.ranks(boc.a), boc.a_ascending)
+    b_ranks = _oriented_ranks(encoded.ranks(boc.b), boc.b_ascending)
+    classes = context_classes(relation, boc.context, partition_cache)
+    limit = removal_limit(relation.num_rows, threshold)
+    removal, exceeded = optimal_removal_rows(classes, a_ranks, b_ranks, limit)
+    return ValidationResult(
+        dependency=boc,
+        num_rows=relation.num_rows,
+        removal_rows=frozenset(removal),
+        threshold=threshold,
+        exceeded_threshold=exceeded,
+    )
+
+
+def best_polarity(
+    relation: Relation,
+    context,
+    a: str,
+    b: str,
+    partition_cache: Optional[PartitionCache] = None,
+) -> ValidationResult:
+    """Validate both polarities of ``a ~ b`` and return the better one.
+
+    Bidirectional discovery effectively asks "are these attributes
+    co-ordered in either direction?"; this helper answers that question for
+    a single pair by comparing the minimal removal sets of the ascending-
+    ascending and ascending-descending orientations.
+    """
+    same = validate_aboc_optimal(
+        relation, BidirectionalOC(context, a, b, True, True), None, partition_cache
+    )
+    opposite = validate_aboc_optimal(
+        relation, BidirectionalOC(context, a, b, True, False), None, partition_cache
+    )
+    return same if same.removal_size <= opposite.removal_size else opposite

@@ -1,0 +1,50 @@
+"""Shared plumbing for the validators.
+
+Every canonical-dependency validator walks the equivalence classes of the
+candidate's context (Definition 2.8).  The helpers here resolve those
+classes, either through a caller-supplied :class:`PartitionCache` (the
+discovery framework's case, where contexts repeat heavily across candidates)
+or by building the partition on the fly for the one-off public API calls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.dataset.partition import Partition, PartitionCache
+from repro.dataset.relation import Relation
+
+
+def context_classes(
+    relation: Relation,
+    context: Iterable[str],
+    partition_cache: Optional[PartitionCache] = None,
+) -> List[List[int]]:
+    """Stripped equivalence classes of ``context`` over ``relation``.
+
+    Singleton classes are omitted: a class with one tuple can contain
+    neither swaps nor splits, so it never contributes to a removal set.
+    """
+    context = list(context)
+    if partition_cache is not None:
+        return list(partition_cache.get_by_names(context))
+    encoded = relation.encoded()
+    if not context:
+        return list(Partition.unit(relation.num_rows))
+    partition = Partition.single(encoded.ranks(context[0]))
+    for attribute in context[1:]:
+        partition = partition.product(encoded.ranks(attribute))
+    return list(partition)
+
+
+def removal_limit(num_rows: int, threshold: Optional[float]) -> Optional[int]:
+    """Maximum removal-set size allowed by ``threshold`` (``⌊ε·|r|⌋``).
+
+    Returns ``None`` when no threshold is given, meaning the validator
+    should compute the full approximation factor.
+    """
+    if threshold is None:
+        return None
+    if not 0.0 <= threshold <= 1.0:
+        raise ValueError(f"approximation threshold must be in [0, 1], got {threshold}")
+    return int(threshold * num_rows + 1e-9)

@@ -1,0 +1,135 @@
+"""Simulated distributed AOC validation (the paper's future work, §5).
+
+The conclusions propose extending approximate OC discovery "to distributed
+settings, similar to [Saxena, Golab, Ilyas, PVLDB 2019]".  The key
+observation that makes this easy for canonical OCs is that equivalence
+classes of the context are completely independent: each worker can validate
+its share of the classes locally and ship only a removal *count* (or the
+removal rows, for repair) to the coordinator, which adds them up and applies
+the global threshold.
+
+Because there is no real cluster in this reproduction, the workers are
+simulated in-process: the point of the module is to exercise and test the
+partitioning / merging logic (which classes go where, how counts combine,
+when the coordinator can stop early), which is exactly the logic a real
+deployment would need — only the transport is missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.dataset.partition import PartitionCache
+from repro.dataset.relation import Relation
+from repro.dependencies.oc import CanonicalOC
+from repro.validation.approx_oc_optimal import class_removal_rows
+from repro.validation.common import context_classes, removal_limit
+from repro.validation.result import ValidationResult
+
+
+@dataclass
+class WorkerReport:
+    """What one simulated worker sends back to the coordinator."""
+
+    worker_id: int
+    num_classes: int
+    num_rows: int
+    removal_rows: List[int] = field(default_factory=list)
+
+    @property
+    def removal_count(self) -> int:
+        return len(self.removal_rows)
+
+
+@dataclass
+class DistributedValidationOutcome:
+    """Coordinator-side result of a distributed validation."""
+
+    result: ValidationResult
+    worker_reports: List[WorkerReport]
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.worker_reports)
+
+    @property
+    def max_worker_share(self) -> float:
+        """Largest fraction of grouped rows assigned to a single worker —
+        the load-balance metric a real deployment would monitor."""
+        total = sum(report.num_rows for report in self.worker_reports)
+        if total == 0:
+            return 0.0
+        return max(report.num_rows for report in self.worker_reports) / total
+
+
+def assign_classes_to_workers(
+    classes: Sequence[Sequence[int]], num_workers: int
+) -> List[List[Sequence[int]]]:
+    """Greedy longest-processing-time assignment of classes to workers.
+
+    Classes are handed out largest-first to the currently least-loaded
+    worker, the standard makespan heuristic; load is measured in
+    ``m log m`` validation cost units.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be at least 1")
+    assignments: List[List[Sequence[int]]] = [[] for _ in range(num_workers)]
+    loads = [0.0] * num_workers
+    ordered = sorted(classes, key=len, reverse=True)
+    for class_rows in ordered:
+        size = len(class_rows)
+        cost = size * (1 + max(size, 2).bit_length())
+        target = loads.index(min(loads))
+        assignments[target].append(class_rows)
+        loads[target] += cost
+    return assignments
+
+
+def validate_aoc_distributed(
+    relation: Relation,
+    oc: CanonicalOC,
+    num_workers: int = 4,
+    threshold: Optional[float] = None,
+    partition_cache: Optional[PartitionCache] = None,
+) -> DistributedValidationOutcome:
+    """Validate an AOC with simulated workers; equivalent to Algorithm 2.
+
+    Every worker runs the per-class LNDS kernel on its assigned classes and
+    reports its removal rows; the coordinator merges the reports, applies
+    the threshold and produces the same :class:`ValidationResult` the
+    centralised validator would.
+    """
+    encoded = relation.encoded()
+    a_ranks = encoded.ranks(oc.a)
+    b_ranks = encoded.ranks(oc.b)
+    classes = context_classes(relation, oc.context, partition_cache)
+    assignments = assign_classes_to_workers(classes, num_workers)
+
+    reports: List[WorkerReport] = []
+    for worker_id, assigned in enumerate(assignments):
+        removal: List[int] = []
+        for class_rows in assigned:
+            removal.extend(class_removal_rows(class_rows, a_ranks, b_ranks))
+        reports.append(
+            WorkerReport(
+                worker_id=worker_id,
+                num_classes=len(assigned),
+                num_rows=sum(len(c) for c in assigned),
+                removal_rows=removal,
+            )
+        )
+
+    merged = frozenset(
+        row for report in reports for row in report.removal_rows
+    )
+    limit = removal_limit(relation.num_rows, threshold)
+    exceeded = limit is not None and len(merged) > limit
+    result = ValidationResult(
+        dependency=oc,
+        num_rows=relation.num_rows,
+        removal_rows=merged,
+        threshold=threshold,
+        exceeded_threshold=exceeded,
+    )
+    return DistributedValidationOutcome(result=result, worker_reports=reports)

@@ -1,0 +1,126 @@
+"""Longest (non-)decreasing subsequence kernels.
+
+Algorithm 2 of the paper reduces minimal-removal-set computation to the
+longest non-decreasing subsequence (LNDS) problem, solved with the classic
+patience / Fredman dynamic programming approach in ``O(m log m)``:
+
+* maintain ``tails[k]`` = the smallest possible last element of a
+  non-decreasing subsequence of length ``k+1`` seen so far,
+* for each new element binary-search the first tail *strictly greater* than
+  it (``bisect_right``) and replace it (or extend),
+* parent pointers allow reconstructing one optimal subsequence, which is
+  what yields the removal set (the complement of the LNDS).
+
+The strictly-increasing variant (LIS, ``bisect_left``) is included because
+the optimality proof (Theorem 3.4) reduces from Fredman's LIS-DEC decision
+problem, which the tests replay.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List, Sequence
+
+
+def lnds_length(sequence: Sequence) -> int:
+    """Length of a longest non-decreasing subsequence of ``sequence``."""
+    tails: List = []
+    for value in sequence:
+        position = bisect_right(tails, value)
+        if position == len(tails):
+            tails.append(value)
+        else:
+            tails[position] = value
+    return len(tails)
+
+
+def lis_length(sequence: Sequence) -> int:
+    """Length of a longest strictly increasing subsequence of ``sequence``."""
+    tails: List = []
+    for value in sequence:
+        position = bisect_left(tails, value)
+        if position == len(tails):
+            tails.append(value)
+        else:
+            tails[position] = value
+    return len(tails)
+
+
+def _subsequence_indices(sequence: Sequence, strict: bool) -> List[int]:
+    """Indices of one optimal (non-decreasing or strictly increasing)
+    subsequence, via patience DP with parent pointers."""
+    if not sequence:
+        return []
+    bisect = bisect_left if strict else bisect_right
+    tails: List = []          # tails[k] = value ending an optimal length-(k+1) subsequence
+    tail_indices: List[int] = []   # index in `sequence` of tails[k]
+    parents: List[int] = [-1] * len(sequence)
+    for index, value in enumerate(sequence):
+        position = bisect(tails, value)
+        if position > 0:
+            parents[index] = tail_indices[position - 1]
+        if position == len(tails):
+            tails.append(value)
+            tail_indices.append(index)
+        else:
+            tails[position] = value
+            tail_indices[position] = index
+    # Walk back from the end of the longest subsequence.
+    result: List[int] = []
+    cursor = tail_indices[-1]
+    while cursor != -1:
+        result.append(cursor)
+        cursor = parents[cursor]
+    result.reverse()
+    return result
+
+
+def lnds_indices(sequence: Sequence) -> List[int]:
+    """Indices (ascending) of one longest non-decreasing subsequence.
+
+    This is ``computeLNDS`` of Algorithm 2, line 4; the removal set is the
+    complement of the returned index set.
+    """
+    return _subsequence_indices(sequence, strict=False)
+
+
+def lis_indices(sequence: Sequence) -> List[int]:
+    """Indices (ascending) of one longest strictly increasing subsequence."""
+    return _subsequence_indices(sequence, strict=True)
+
+
+def lnds_complement(sequence: Sequence) -> List[int]:
+    """Indices *not* on a longest non-decreasing subsequence.
+
+    Convenience wrapper used by the AOC validator: these are the positions
+    that must be removed from the class.
+    """
+    kept = set(lnds_indices(sequence))
+    return [index for index in range(len(sequence)) if index not in kept]
+
+
+def lnds_length_quadratic(sequence: Sequence) -> int:
+    """Reference ``O(m^2)`` dynamic program for the LNDS length.
+
+    Exists purely as an oracle for property-based tests of the
+    ``O(m log m)`` implementation.
+    """
+    if not sequence:
+        return 0
+    best = [1] * len(sequence)
+    for j in range(len(sequence)):
+        for i in range(j):
+            if sequence[i] <= sequence[j]:
+                best[j] = max(best[j], best[i] + 1)
+    return max(best)
+
+
+def is_non_decreasing_subsequence(sequence: Sequence, indices: Sequence[int]) -> bool:
+    """Check that ``indices`` are ascending positions whose values are
+    non-decreasing — the well-formedness predicate used in tests."""
+    for previous, current in zip(indices, list(indices)[1:]):
+        if previous >= current:
+            return False
+        if sequence[previous] > sequence[current]:
+            return False
+    return True

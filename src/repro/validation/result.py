@@ -1,0 +1,81 @@
+"""The common result type returned by every validator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of validating one dependency candidate on one relation.
+
+    Attributes
+    ----------
+    dependency:
+        The dependency object that was validated (a :class:`CanonicalOC`,
+        :class:`OFD`, :class:`CanonicalOD` or :class:`ListOD`).
+    num_rows:
+        ``|r|`` — the size of the relation the candidate was validated on.
+    removal_rows:
+        A removal set: row indices whose removal makes the dependency hold.
+        For the optimal validator this set is minimal (Theorem 3.3); for the
+        iterative validator it may be larger.  When validation aborted early
+        because the approximation threshold was crossed
+        (``exceeded_threshold``), the set contains only the rows removed up
+        to that point and is *not* a removal set.
+    threshold:
+        The approximation threshold the candidate was validated against, or
+        ``None`` when the caller only asked for the approximation factor.
+    exceeded_threshold:
+        ``True`` when the validator stopped early after the threshold was
+        crossed (the paper's "INVALID" outcome).
+    """
+
+    dependency: object
+    num_rows: int
+    removal_rows: FrozenSet[int] = field(default_factory=frozenset)
+    threshold: Optional[float] = None
+    exceeded_threshold: bool = False
+
+    # -- derived quantities ----------------------------------------------------
+
+    @property
+    def removal_size(self) -> int:
+        """``|s|`` — the cardinality of the reported removal set."""
+        return len(self.removal_rows)
+
+    @property
+    def approximation_factor(self) -> float:
+        """``e(φ) = |s| / |r|`` (Definition 2.14).
+
+        Meaningless (a lower bound only) when ``exceeded_threshold`` is set.
+        """
+        if self.num_rows == 0:
+            return 0.0
+        return self.removal_size / self.num_rows
+
+    @property
+    def holds_exactly(self) -> bool:
+        """``True`` iff the dependency holds with no exceptions."""
+        return not self.exceeded_threshold and self.removal_size == 0
+
+    @property
+    def is_valid(self) -> bool:
+        """``True`` iff the approximation factor is within the threshold.
+
+        When no threshold was supplied, a candidate is "valid" iff it holds
+        exactly, matching the exact-discovery special case ``ε = 0``.
+        """
+        if self.exceeded_threshold:
+            return False
+        if self.threshold is None:
+            return self.holds_exactly
+        return self.approximation_factor <= self.threshold + 1e-12
+
+    def __str__(self) -> str:
+        status = "INVALID" if not self.is_valid else (
+            "exact" if self.holds_exactly else
+            f"approximate (e={self.approximation_factor:.4f})"
+        )
+        return f"{self.dependency!r}: {status}, removed {self.removal_size}/{self.num_rows}"

@@ -1,0 +1,103 @@
+"""Tests for the outlier-detection, error-repair and profiling applications."""
+
+import pytest
+
+from repro.applications.error_repair import propose_repairs
+from repro.applications.outlier_detection import detect_outliers
+from repro.applications.profiling import profile_relation
+from repro.dataset.examples import employee_salary_table
+from repro.dataset.generators import generate_planted_oc_table
+from repro.dependencies.oc import CanonicalOC
+from repro.dependencies.ofd import OFD
+from repro.dependencies.violations import oc_holds, ofd_holds
+from repro.discovery.api import discover_aods
+
+
+class TestOutlierDetection:
+    def test_planted_errors_rank_highest(self):
+        workload = generate_planted_oc_table(
+            120, approximation_factor=0.05, extra_attributes=1, seed=3
+        )
+        relation = workload.relation
+        discovery = discover_aods(relation, threshold=0.1)
+        report = detect_outliers(relation, discovery)
+        (planted,) = workload.planted_ocs
+        top_rows = {row for row, _ in report.top(len(planted.approx_rows))}
+        # Every top-scored row is one of the planted dirty rows.
+        assert top_rows <= set(planted.approx_rows)
+        assert report.num_dependencies_used >= 1
+
+    def test_clean_table_has_no_outliers(self):
+        workload = generate_planted_oc_table(80, approximation_factor=0.0, seed=1)
+        discovery = discover_aods(workload.relation, threshold=0.1)
+        report = detect_outliers(workload.relation, discovery)
+        assert report.scores == {}
+
+    def test_rows_above_threshold(self, employee_table):
+        discovery = discover_aods(employee_table, threshold=0.2)
+        report = detect_outliers(employee_table, discovery)
+        if report.scores:
+            cutoff = max(report.scores.values())
+            assert set(report.rows_above(cutoff)) <= set(report.scores)
+
+    def test_evidence_lists_dependency(self, employee_table):
+        discovery = discover_aods(employee_table, threshold=0.2)
+        report = detect_outliers(employee_table, discovery, include_ofds=False)
+        for row, labels in report.evidence.items():
+            assert labels
+            assert all("OC(" in label for label in labels)
+
+
+class TestErrorRepair:
+    def test_removal_repair_restores_ocs(self, employee_table):
+        oc = CanonicalOC([], "sal", "tax")
+        plan = propose_repairs(employee_table, ocs=[oc])
+        assert plan.num_removals == 4  # the minimal removal set of Example 2.15
+        repaired = plan.apply_removals(employee_table)
+        assert oc_holds(repaired, oc)
+
+    def test_ofd_cell_correction(self, employee_table):
+        ofd = OFD({"pos", "exp"}, "sal")
+        plan = propose_repairs(employee_table, ofds=[ofd], correct_ofd_cells=True)
+        assert plan.cell_corrections  # t6/t7 disagreement fixed in place
+        repaired = plan.apply_corrections(employee_table)
+        assert ofd_holds(repaired, ofd)
+        assert repaired.num_rows == employee_table.num_rows
+
+    def test_ofd_removal_mode(self, employee_table):
+        ofd = OFD({"pos", "exp"}, "sal")
+        plan = propose_repairs(employee_table, ofds=[ofd], correct_ofd_cells=False)
+        assert plan.num_removals >= 1
+        repaired = plan.apply_removals(employee_table)
+        assert ofd_holds(repaired, ofd)
+
+    def test_combined_plan_counts_dependencies(self, employee_table):
+        plan = propose_repairs(
+            employee_table,
+            ocs=[CanonicalOC([], "sal", "tax")],
+            ofds=[OFD({"pos", "exp"}, "sal")],
+        )
+        assert plan.dependencies_repaired == 2
+
+
+class TestProfiling:
+    def test_column_statistics(self, employee_table):
+        report = profile_relation(employee_table, run_discovery=False)
+        assert report.num_rows == 9
+        assert len(report.columns) == 7
+        sal = next(column for column in report.columns if column.name == "sal")
+        assert sal.inferred_type == "integer"
+        assert sal.distinct_values == 9
+        assert sal.is_candidate_key
+
+    def test_discovery_included_by_default(self, employee_table):
+        report = profile_relation(employee_table, threshold=0.1, max_level=3)
+        assert report.discovery is not None
+        assert report.discovery.num_dependencies > 0
+
+    def test_render_contains_sections(self, employee_table):
+        report = profile_relation(employee_table, threshold=0.1, max_level=2)
+        text = report.render(top_k=3)
+        assert "Rows: 9" in text
+        assert "Columns:" in text
+        assert "interestingness" in text

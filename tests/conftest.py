@@ -1,0 +1,43 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.examples import employee_salary_table, tiny_numeric_table
+from repro.dataset.generators import (
+    generate_flight_like,
+    generate_ncvoter_like,
+    generate_planted_oc_table,
+)
+from repro.dataset.relation import Relation
+
+
+@pytest.fixture
+def employee_table() -> Relation:
+    """Table 1 of the paper (9 tuples, 7 attributes)."""
+    return employee_salary_table()
+
+
+@pytest.fixture
+def tiny_table() -> Relation:
+    """A 4-row numeric table with obvious dependencies."""
+    return tiny_numeric_table()
+
+
+@pytest.fixture
+def flight_small():
+    """A small flight-like workload (300 rows, 8 attributes)."""
+    return generate_flight_like(300, num_attributes=8, error_rate=0.1, seed=3)
+
+
+@pytest.fixture
+def ncvoter_small():
+    """A small ncvoter-like workload (300 rows, 8 attributes)."""
+    return generate_ncvoter_like(300, num_attributes=8, error_rate=0.1, seed=3)
+
+
+@pytest.fixture
+def planted_workload():
+    """A 200-row table with one planted AOC of factor 0.1."""
+    return generate_planted_oc_table(200, approximation_factor=0.1, seed=11)

@@ -1,0 +1,79 @@
+"""Tests for repro.dataset.csv_io."""
+
+import pytest
+
+from repro.dataset.csv_io import infer_types_summary, read_csv, write_csv
+from repro.dataset.examples import employee_salary_table
+from repro.dataset.relation import Relation
+
+
+class TestReadCsv:
+    def test_roundtrip(self, tmp_path):
+        original = employee_salary_table()
+        path = tmp_path / "employees.csv"
+        write_csv(original, path)
+        loaded = read_csv(path)
+        assert loaded.attribute_names == original.attribute_names
+        assert loaded.num_rows == original.num_rows
+        assert loaded.column("pos") == original.column("pos")
+        assert loaded.column("sal") == original.column("sal")
+
+    def test_parses_numbers_and_nulls(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b,c\n1,2.5,x\n,NULL,y\n3,4,\n")
+        relation = read_csv(path)
+        assert relation.column("a") == [1, None, 3]
+        assert relation.column("b") == [2.5, None, 4]
+        assert relation.column("c") == ["x", "y", None]
+
+    def test_max_rows(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a\n1\n2\n3\n4\n")
+        assert read_csv(path, max_rows=2).num_rows == 2
+
+    def test_attribute_projection(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        relation = read_csv(path, attributes=["c", "a"])
+        assert relation.attribute_names == ["c", "a"]
+
+    def test_short_rows_are_padded(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b,c\n1,2\n")
+        relation = read_csv(path)
+        assert relation.column("c") == [None]
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_csv(path)
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "data.tsv"
+        path.write_text("a;b\n1;2\n")
+        relation = read_csv(path, delimiter=";")
+        assert relation.column("b") == [2]
+
+
+class TestWriteCsv:
+    def test_none_roundtrips_as_null(self, tmp_path):
+        relation = Relation.from_columns({"a": [1, None], "b": ["x", "y"]})
+        path = tmp_path / "out" / "data.csv"
+        write_csv(relation, path)
+        loaded = read_csv(path)
+        assert loaded.column("a") == [1, None]
+        assert loaded.column("b") == ["x", "y"]
+
+    def test_creates_parent_directories(self, tmp_path):
+        relation = Relation.from_columns({"a": [1]})
+        path = tmp_path / "deep" / "nested" / "data.csv"
+        write_csv(relation, path)
+        assert path.exists()
+
+
+class TestSummary:
+    def test_infer_types_summary(self):
+        lines = infer_types_summary(employee_salary_table())
+        assert len(lines) == 7
+        assert any("sal" in line and "integer" in line for line in lines)

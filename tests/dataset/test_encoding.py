@@ -1,0 +1,96 @@
+"""Tests for repro.dataset.encoding (order-preserving dictionary encoding)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataset.encoding import EncodedRelation, encode_column
+from repro.dataset.relation import Relation
+from repro.dataset.schema import AttributeType
+
+
+class TestEncodeColumn:
+    def test_preserves_numeric_order(self):
+        ranks, dictionary = encode_column([30, 10, 20], AttributeType.INTEGER)
+        assert ranks == [2, 0, 1]
+        assert dictionary == [10, 20, 30]
+
+    def test_equal_values_equal_ranks(self):
+        ranks, _ = encode_column([5, 5, 5], AttributeType.INTEGER)
+        assert ranks == [0, 0, 0]
+
+    def test_string_order_is_lexicographic(self):
+        ranks, _ = encode_column(["b", "a", "c"], AttributeType.STRING)
+        assert ranks == [1, 0, 2]
+
+    def test_none_sorts_first(self):
+        ranks, dictionary = encode_column([3, None, 1], AttributeType.INTEGER)
+        assert dictionary[0] is None
+        assert ranks[1] == 0
+        assert ranks[2] < ranks[0]
+
+    def test_float_and_int_mix(self):
+        ranks, _ = encode_column([1.5, 1, 2], AttributeType.FLOAT)
+        assert ranks == [1, 0, 2]
+
+    def test_numeric_strings_in_numeric_column(self):
+        # Dirty CSV data: numbers stored as strings must still order numerically.
+        ranks, _ = encode_column([10, "9", 11], AttributeType.INTEGER)
+        assert ranks == [1, 0, 2]
+
+    def test_empty_column(self):
+        ranks, dictionary = encode_column([], AttributeType.STRING)
+        assert ranks == [] and dictionary == []
+
+    def test_boolean_order(self):
+        ranks, _ = encode_column([True, False], AttributeType.BOOLEAN)
+        assert ranks == [1, 0]
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000)))
+    def test_rank_order_matches_value_order(self, values):
+        ranks, _ = encode_column(values, AttributeType.INTEGER)
+        for i in range(len(values)):
+            for j in range(len(values)):
+                assert (values[i] < values[j]) == (ranks[i] < ranks[j])
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1))
+    def test_ranks_are_dense(self, values):
+        ranks, dictionary = encode_column(values, AttributeType.INTEGER)
+        assert set(ranks) == set(range(len(dictionary)))
+
+
+class TestEncodedRelation:
+    @pytest.fixture
+    def relation(self):
+        return Relation.from_columns(
+            {"num": [3, 1, 2, None], "txt": ["b", "a", "b", "c"]}
+        )
+
+    def test_ranks_by_name_and_index(self, relation):
+        encoded = relation.encoded()
+        assert encoded.ranks("num") == encoded.ranks_by_index(0)
+        assert encoded.ranks("txt") == [1, 0, 1, 2]
+
+    def test_decode_roundtrip(self, relation):
+        encoded = relation.encoded()
+        for row in range(relation.num_rows):
+            rank = encoded.ranks("txt")[row]
+            assert encoded.decode("txt", rank) == relation.value(row, "txt")
+
+    def test_cardinality(self, relation):
+        encoded = relation.encoded()
+        assert encoded.cardinality("txt") == 3
+        assert encoded.cardinality("num") == 4  # includes None
+
+    def test_row_ranks(self, relation):
+        encoded = relation.encoded()
+        assert encoded.row_ranks(0, ["num", "txt"]) == (
+            encoded.ranks("num")[0],
+            encoded.ranks("txt")[0],
+        )
+
+    def test_len(self, relation):
+        assert len(relation.encoded()) == 4
+
+    def test_from_relation_matches_schema(self, relation):
+        encoded = EncodedRelation.from_relation(relation)
+        assert encoded.schema is relation.schema

@@ -1,0 +1,88 @@
+"""Tests for repro.dataset.errors (error injection)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataset.errors import (
+    inject_nulls,
+    inject_pair_swaps,
+    inject_scaling_errors,
+    inject_split_errors,
+    inject_value_replacements,
+)
+
+
+class TestScalingErrors:
+    def test_rate_zero_is_identity(self):
+        values = [1.0, 2.0, 3.0]
+        new_values, rows = inject_scaling_errors(values, 0.0)
+        assert new_values == values
+        assert rows == set()
+
+    def test_exact_count_perturbed(self):
+        values = [float(i) for i in range(100)]
+        new_values, rows = inject_scaling_errors(values, 0.1, factor=10.0, seed=1)
+        assert len(rows) == 10
+        for row in rows:
+            assert new_values[row] == values[row] * 10.0
+        for row in set(range(100)) - rows:
+            assert new_values[row] == values[row]
+
+    def test_original_not_mutated(self):
+        values = [1.0, 2.0]
+        inject_scaling_errors(values, 0.5, seed=0)
+        assert values == [1.0, 2.0]
+
+    def test_deterministic_for_seed(self):
+        values = list(range(50))
+        first = inject_scaling_errors(values, 0.2, seed=3)
+        second = inject_scaling_errors(values, 0.2, seed=3)
+        assert first == second
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            inject_scaling_errors([1.0], 1.5)
+
+
+class TestReplacements:
+    def test_replacements_come_from_pool(self):
+        values = ["x"] * 50
+        new_values, rows = inject_value_replacements(values, 0.2, ["a", "b"], seed=2)
+        assert len(rows) == 10
+        for row in rows:
+            assert new_values[row] in {"a", "b"}
+
+
+class TestPairSwaps:
+    def test_swaps_preserve_multiset(self):
+        values = list(range(40))
+        new_values, rows = inject_pair_swaps(values, 0.3, seed=5)
+        assert sorted(new_values) == values
+        assert len(rows) % 2 == 0
+
+    @given(st.integers(min_value=2, max_value=60), st.integers(min_value=0, max_value=99))
+    def test_swapped_rows_actually_changed_when_values_distinct(self, size, seed):
+        values = list(range(size))
+        new_values, rows = inject_pair_swaps(values, 0.5, seed=seed)
+        for row in rows:
+            assert new_values[row] != values[row]
+
+
+class TestNulls:
+    def test_nulls_injected(self):
+        values = list(range(20))
+        new_values, rows = inject_nulls(values, 0.25, seed=1)
+        assert len(rows) == 5
+        assert all(new_values[row] is None for row in rows)
+
+
+class TestSplitErrors:
+    def test_split_breaks_constancy_within_groups(self):
+        groups = [0] * 10 + [1] * 10
+        values = ["a"] * 10 + ["b"] * 10
+        new_values, rows = inject_split_errors(values, groups, 0.2, seed=4)
+        assert rows  # some rows were perturbed
+        for row in rows:
+            # The new value comes from a different group, so it breaks the
+            # FD groups -> values for that row's class.
+            assert new_values[row] != values[row]

@@ -1,0 +1,48 @@
+"""Tests that the running-example table matches Table 1 of the paper."""
+
+from repro.dataset.examples import (
+    EMPLOYEE_TUPLE_IDS,
+    employee_salary_table,
+    rows_to_tuple_ids,
+    tiny_numeric_table,
+    tuple_ids_to_rows,
+)
+
+
+class TestEmployeeTable:
+    def test_shape(self):
+        table = employee_salary_table()
+        assert table.num_rows == 9
+        assert table.attribute_names == [
+            "pos", "exp", "sal", "taxGrp", "perc", "tax", "bonus",
+        ]
+
+    def test_selected_cells_match_paper(self):
+        table = employee_salary_table()
+        # t1 = (sec, 1, 20K, A, 10%, 2K, 1K)
+        assert table.row(0) == ("sec", 1, 20, "A", 10.0, 2.0, 1)
+        # t7 = (dev, 5, 60K, B, 3%, 1.8K, 4K)
+        assert table.row(6) == ("dev", 5, 60, "B", 3.0, 1.8, 4)
+        # t9 = (dir, 8, 200K, C, 8%, 16K, 10K)
+        assert table.row(8) == ("dir", 8, 200, "C", 8.0, 16.0, 10)
+
+    def test_salary_is_strictly_increasing(self):
+        # The table is listed in salary order in the paper.
+        salaries = employee_salary_table().column("sal")
+        assert salaries == sorted(salaries)
+        assert len(set(salaries)) == 9
+
+    def test_tuple_id_mapping_roundtrip(self):
+        rows = tuple_ids_to_rows({"t1", "t9"})
+        assert rows == {0, 8}
+        assert rows_to_tuple_ids(rows) == {"t1", "t9"}
+
+    def test_all_nine_labels_present(self):
+        assert set(EMPLOYEE_TUPLE_IDS) == {f"t{i}" for i in range(1, 10)}
+
+
+class TestTinyTable:
+    def test_shape(self):
+        table = tiny_numeric_table()
+        assert table.num_rows == 4
+        assert set(table.attribute_names) == {"a", "b", "c", "d"}

@@ -1,0 +1,130 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.dataset.generators import (
+    generate_flight_like,
+    generate_monotone_table,
+    generate_ncvoter_like,
+    generate_planted_oc_table,
+    generate_random_table,
+)
+from repro.dependencies.oc import CanonicalOC
+from repro.validation.approx_oc_optimal import validate_aoc_optimal
+
+
+class TestFlightLike:
+    def test_shape_and_determinism(self):
+        first = generate_flight_like(200, num_attributes=10, seed=1)
+        second = generate_flight_like(200, num_attributes=10, seed=1)
+        assert first.relation.num_rows == 200
+        assert first.relation.num_attributes == 10
+        assert first.relation == second.relation
+
+    def test_different_seeds_differ(self):
+        first = generate_flight_like(200, seed=1)
+        second = generate_flight_like(200, seed=2)
+        assert first.relation != second.relation
+
+    def test_supports_wide_schemas(self):
+        workload = generate_flight_like(50, num_attributes=35)
+        assert workload.relation.num_attributes == 35
+
+    def test_too_many_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            generate_flight_like(50, num_attributes=100)
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(ValueError):
+            generate_flight_like(0)
+
+    def test_planted_ocs_hold_after_removing_dirty_rows(self):
+        workload = generate_flight_like(400, num_attributes=10, error_rate=0.05, seed=9)
+        assert workload.planted_ocs
+        for planted in workload.planted_ocs:
+            oc = CanonicalOC(planted.context, planted.a, planted.b)
+            result = validate_aoc_optimal(workload.relation, oc)
+            # Removing the perturbed rows restores the OC, so the *minimal*
+            # removal set is no larger than the planted error set.
+            assert result.removal_size <= len(planted.approx_rows)
+
+    def test_clean_generation_has_exact_planted_ocs(self):
+        workload = generate_flight_like(300, num_attributes=10, error_rate=0.0, seed=9)
+        for planted in workload.planted_ocs:
+            oc = CanonicalOC(planted.context, planted.a, planted.b)
+            assert validate_aoc_optimal(workload.relation, oc).holds_exactly
+
+
+class TestNCVoterLike:
+    def test_shape(self):
+        workload = generate_ncvoter_like(150, num_attributes=12, seed=4)
+        assert workload.relation.num_rows == 150
+        assert workload.relation.num_attributes == 12
+
+    def test_planted_ocs_recoverable(self):
+        workload = generate_ncvoter_like(400, num_attributes=10, error_rate=0.05, seed=2)
+        assert workload.planted_ocs
+        for planted in workload.planted_ocs:
+            oc = CanonicalOC(planted.context, planted.a, planted.b)
+            result = validate_aoc_optimal(workload.relation, oc)
+            assert result.removal_size <= len(planted.approx_rows)
+
+    def test_description_mentions_parameters(self):
+        workload = generate_ncvoter_like(100, num_attributes=10, seed=5)
+        assert "100 rows" in workload.description
+
+
+class TestPlantedOcTable:
+    def test_exact_approximation_factor(self):
+        workload = generate_planted_oc_table(200, approximation_factor=0.1, seed=3)
+        (planted,) = workload.planted_ocs
+        oc = CanonicalOC(planted.context, planted.a, planted.b)
+        result = validate_aoc_optimal(workload.relation, oc)
+        assert result.removal_size == 20
+        assert abs(result.approximation_factor - 0.1) < 1e-9
+
+    def test_zero_factor_is_exact(self):
+        workload = generate_planted_oc_table(100, approximation_factor=0.0)
+        (planted,) = workload.planted_ocs
+        oc = CanonicalOC((), planted.a, planted.b)
+        assert validate_aoc_optimal(workload.relation, oc).holds_exactly
+
+    def test_with_context_groups(self):
+        workload = generate_planted_oc_table(
+            120, approximation_factor=0.05, num_context_groups=4, seed=8
+        )
+        (planted,) = workload.planted_ocs
+        assert planted.context == ("ctx",)
+        oc = CanonicalOC(planted.context, planted.a, planted.b)
+        result = validate_aoc_optimal(workload.relation, oc)
+        assert result.removal_size == 6
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            generate_planted_oc_table(10, approximation_factor=1.0)
+
+    def test_extra_attributes(self):
+        workload = generate_planted_oc_table(50, 0.1, extra_attributes=3)
+        assert workload.relation.num_attributes == 6
+
+
+class TestOtherGenerators:
+    def test_random_table_shape(self):
+        relation = generate_random_table(80, 5, cardinality=4, seed=0)
+        assert relation.num_rows == 80
+        assert relation.num_attributes == 5
+        for name in relation.attribute_names:
+            assert set(relation.column(name)) <= set(range(4))
+
+    def test_monotone_table_all_pairs_order_compatible(self):
+        relation = generate_monotone_table(60, 4, noise=0.0, seed=1)
+        names = relation.attribute_names
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                oc = CanonicalOC((), names[i], names[j])
+                assert validate_aoc_optimal(relation, oc).holds_exactly
+
+    def test_monotone_table_with_noise_not_exact(self):
+        relation = generate_monotone_table(200, 2, noise=0.2, seed=1)
+        oc = CanonicalOC((), "m0", "m1")
+        assert not validate_aoc_optimal(relation, oc).holds_exactly

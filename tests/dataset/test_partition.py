@@ -1,0 +1,133 @@
+"""Tests for repro.dataset.partition (stripped partitions and the cache)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataset.examples import employee_salary_table
+from repro.dataset.partition import Partition, PartitionCache
+
+
+class TestPartitionBasics:
+    def test_single_column_partition(self):
+        partition = Partition.single([0, 1, 0, 2, 1])
+        assert partition.num_rows == 5
+        assert sorted(map(tuple, partition.classes)) == [(0, 2), (1, 4)]
+
+    def test_singletons_are_stripped(self):
+        partition = Partition.single([0, 1, 2, 3])
+        assert partition.num_classes == 0
+        assert partition.num_singleton_rows == 4
+
+    def test_unit_partition(self):
+        partition = Partition.unit(4)
+        assert partition.classes == [[0, 1, 2, 3]]
+
+    def test_unit_partition_single_row(self):
+        assert Partition.unit(1).classes == []
+
+    def test_from_row_keys(self):
+        partition = Partition.from_row_keys([(0, 1), (0, 1), (1, 0), (0, 2)])
+        assert partition.classes == [[0, 1]]
+
+    def test_counts(self):
+        partition = Partition.single([0, 0, 1, 1, 1, 2])
+        assert partition.num_grouped_rows == 5
+        assert partition.num_singleton_rows == 1
+        assert partition.total_class_count() == 3
+        assert partition.error_rows() == 3  # 6 rows - 3 classes
+
+    def test_equality(self):
+        assert Partition.single([0, 0, 1]) == Partition.single([5, 5, 7])
+
+    def test_iteration_and_len(self):
+        partition = Partition.single([0, 0, 1, 1])
+        assert len(partition) == 2
+        assert sum(len(c) for c in partition) == 4
+
+
+class TestPartitionProducts:
+    def test_product_with_column(self):
+        base = Partition.single([0, 0, 0, 1, 1])
+        refined = base.product([0, 0, 1, 0, 0])
+        assert sorted(map(tuple, refined.classes)) == [(0, 1), (3, 4)]
+
+    def test_product_partition_matches_from_keys(self):
+        a = [0, 0, 1, 1, 0, 1]
+        b = [0, 1, 0, 1, 0, 0]
+        via_product = Partition.single(a).product_partition(Partition.single(b))
+        via_keys = Partition.from_row_keys(list(zip(a, b)))
+        assert via_product == via_keys
+
+    def test_product_partition_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Partition.single([0, 0]).product_partition(Partition.single([0, 0, 0]))
+
+    def test_refines(self):
+        coarse = Partition.single([0, 0, 0, 1, 1])
+        fine = coarse.product([0, 1, 1, 0, 0])
+        assert fine.refines(coarse)
+        assert not coarse.refines(fine)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=30),
+        st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=30),
+    )
+    def test_product_commutes(self, a, b):
+        size = min(len(a), len(b))
+        a, b = a[:size], b[:size]
+        left = Partition.single(a).product(b)
+        right = Partition.single(b).product(a)
+        assert left == right
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=40))
+    def test_product_with_self_is_identity(self, column):
+        partition = Partition.single(column)
+        assert partition.product(column) == partition
+
+
+class TestPartitionCache:
+    @pytest.fixture
+    def cache(self):
+        return PartitionCache(employee_salary_table().encoded())
+
+    def test_empty_set_is_unit(self, cache):
+        partition = cache.get([])
+        assert partition.classes == [list(range(9))]
+
+    def test_singleton_matches_direct(self, cache):
+        encoded = employee_salary_table().encoded()
+        index = encoded.schema.index_of("pos")
+        assert cache.get([index]) == Partition.single(encoded.ranks("pos"))
+
+    def test_get_by_names_matches_example_2_9(self, cache):
+        # Example 2.9: Pi_pos = {{t1,t2,t4}, {t3,t5,t6,t7,t8}, {t9}} (t9 stripped).
+        partition = cache.get_by_names(["pos"])
+        classes = sorted(map(tuple, partition.classes))
+        assert classes == [(0, 1, 3), (2, 4, 5, 6, 7)]
+
+    def test_multi_attribute_matches_brute_force(self, cache):
+        table = employee_salary_table()
+        encoded = table.encoded()
+        keys = [
+            (encoded.ranks("pos")[row], encoded.ranks("exp")[row])
+            for row in range(table.num_rows)
+        ]
+        assert cache.get_by_names(["pos", "exp"]) == Partition.from_row_keys(keys)
+
+    def test_cache_hits(self, cache):
+        cache.get_by_names(["pos"])
+        cache.get_by_names(["pos"])
+        assert cache.stats["hits"] >= 1
+        assert cache.stats["entries"] >= 1
+
+    def test_order_insensitive(self, cache):
+        assert cache.get_by_names(["pos", "sal"]) == cache.get_by_names(["sal", "pos"])
+
+    def test_evict_level(self, cache):
+        cache.get_by_names(["pos"])
+        cache.get_by_names(["pos", "sal"])
+        before = cache.stats["entries"]
+        cache.evict_level(2)
+        assert cache.stats["entries"] < before
+        # Evicted entries are transparently rebuilt.
+        assert cache.get_by_names(["pos"]).num_classes == 2

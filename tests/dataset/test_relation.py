@@ -1,0 +1,153 @@
+"""Tests for repro.dataset.relation."""
+
+import pytest
+
+from repro.dataset.relation import Relation
+from repro.dataset.schema import AttributeType, Schema
+
+
+@pytest.fixture
+def simple() -> Relation:
+    return Relation.from_columns({"a": [1, 2, 3], "b": ["x", "y", "x"]})
+
+
+class TestConstruction:
+    def test_from_rows(self):
+        relation = Relation.from_rows([[1, "x"], [2, "y"]], ["a", "b"])
+        assert relation.num_rows == 2
+        assert relation.column("a") == [1, 2]
+        assert relation.column("b") == ["x", "y"]
+
+    def test_from_rows_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Relation.from_rows([[1, 2], [3]], ["a", "b"])
+
+    def test_from_dicts(self):
+        relation = Relation.from_dicts([{"a": 1, "b": 2}, {"a": 3}])
+        assert relation.attribute_names == ["a", "b"]
+        assert relation.column("b") == [2, None]
+
+    def test_from_dicts_explicit_order(self):
+        relation = Relation.from_dicts([{"a": 1, "b": 2}], attribute_names=["b", "a"])
+        assert relation.attribute_names == ["b", "a"]
+
+    def test_from_columns_infers_types(self):
+        relation = Relation.from_columns({"a": [1, 2], "b": ["u", "v"]})
+        assert relation.schema.attribute("a").type is AttributeType.INTEGER
+        assert relation.schema.attribute("b").type is AttributeType.STRING
+
+    def test_columns_must_match_schema(self):
+        schema = Schema.from_names(["a", "b"])
+        with pytest.raises(ValueError, match="columns do not match"):
+            Relation(schema, {"a": [1]})
+
+    def test_columns_must_have_equal_lengths(self):
+        schema = Schema.from_names(["a", "b"])
+        with pytest.raises(ValueError, match="inconsistent"):
+            Relation(schema, {"a": [1], "b": [1, 2]})
+
+    def test_empty_relation(self):
+        relation = Relation.from_rows([], ["a", "b"])
+        assert relation.num_rows == 0
+        assert len(relation) == 0
+
+
+class TestAccessors:
+    def test_row(self, simple):
+        assert simple.row(1) == (2, "y")
+
+    def test_row_out_of_range(self, simple):
+        with pytest.raises(IndexError):
+            simple.row(5)
+
+    def test_value(self, simple):
+        assert simple.value(2, "b") == "x"
+
+    def test_unknown_column(self, simple):
+        with pytest.raises(KeyError):
+            simple.column("nope")
+
+    def test_iter_rows(self, simple):
+        assert list(simple.iter_rows()) == [(1, "x"), (2, "y"), (3, "x")]
+
+    def test_to_dicts(self, simple):
+        assert simple.to_dicts()[0] == {"a": 1, "b": "x"}
+
+    def test_num_attributes(self, simple):
+        assert simple.num_attributes == 2
+
+    def test_repr_mentions_shape(self, simple):
+        assert "3 rows" in repr(simple)
+
+
+class TestDerivedRelations:
+    def test_project(self, simple):
+        projected = simple.project(["b"])
+        assert projected.attribute_names == ["b"]
+        assert projected.num_rows == 3
+
+    def test_take(self, simple):
+        taken = simple.take([2, 0])
+        assert taken.column("a") == [3, 1]
+
+    def test_head(self, simple):
+        assert simple.head(2).column("a") == [1, 2]
+        assert simple.head(100).num_rows == 3
+
+    def test_drop_rows(self, simple):
+        remaining = simple.drop_rows({1})
+        assert remaining.column("a") == [1, 3]
+
+    def test_drop_rows_empty_set(self, simple):
+        assert simple.drop_rows([]).num_rows == 3
+
+    def test_sample_deterministic(self, simple):
+        first = simple.sample(2, seed=1)
+        second = simple.sample(2, seed=1)
+        assert first.column("a") == second.column("a")
+        assert first.num_rows == 2
+
+    def test_sample_larger_than_relation_returns_self(self, simple):
+        assert simple.sample(10) is simple
+
+    def test_concat(self, simple):
+        doubled = simple.concat(simple)
+        assert doubled.num_rows == 6
+
+    def test_concat_schema_mismatch(self, simple):
+        other = Relation.from_columns({"z": [1, 2, 3]})
+        with pytest.raises(ValueError):
+            simple.concat(other)
+
+    def test_with_column_adds(self, simple):
+        extended = simple.with_column("c", [7, 8, 9])
+        assert extended.column("c") == [7, 8, 9]
+        assert extended.num_attributes == 3
+
+    def test_with_column_replaces(self, simple):
+        replaced = simple.with_column("a", [9, 9, 9])
+        assert replaced.column("a") == [9, 9, 9]
+        assert replaced.num_attributes == 2
+
+    def test_with_column_length_check(self, simple):
+        with pytest.raises(ValueError):
+            simple.with_column("c", [1])
+
+    def test_equality(self, simple):
+        other = Relation.from_columns({"a": [1, 2, 3], "b": ["x", "y", "x"]})
+        assert simple == other
+        assert simple != other.drop_rows({0})
+
+
+class TestEncodingCache:
+    def test_encoded_is_cached(self, simple):
+        assert simple.encoded() is simple.encoded()
+
+    def test_pretty_string_contains_header(self, simple):
+        rendered = simple.to_pretty_string()
+        assert "a" in rendered.splitlines()[0]
+        assert len(rendered.splitlines()) >= 4
+
+    def test_pretty_string_truncates(self, simple):
+        rendered = simple.to_pretty_string(max_rows=1)
+        assert "more rows" in rendered

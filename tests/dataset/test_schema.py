@@ -1,0 +1,116 @@
+"""Tests for repro.dataset.schema."""
+
+import pytest
+
+from repro.dataset.schema import Attribute, AttributeType, Schema
+
+
+class TestAttributeType:
+    def test_infer_integers(self):
+        assert AttributeType.infer([1, 2, 3]) is AttributeType.INTEGER
+
+    def test_infer_floats(self):
+        assert AttributeType.infer([1.5, 2, 3]) is AttributeType.FLOAT
+
+    def test_infer_strings(self):
+        assert AttributeType.infer(["a", "b"]) is AttributeType.STRING
+
+    def test_infer_booleans(self):
+        assert AttributeType.infer([True, False, True]) is AttributeType.BOOLEAN
+
+    def test_infer_mixed_falls_back_to_string(self):
+        assert AttributeType.infer([1, "a", 2.5]) is AttributeType.STRING
+
+    def test_infer_ignores_nulls(self):
+        assert AttributeType.infer([None, 3, None, 4]) is AttributeType.INTEGER
+
+    def test_infer_all_null_is_string(self):
+        assert AttributeType.infer([None, None]) is AttributeType.STRING
+
+    def test_infer_empty_is_string(self):
+        assert AttributeType.infer([]) is AttributeType.STRING
+
+    def test_bool_is_not_integer(self):
+        # Python's bool is a subclass of int; the inference must not let a
+        # boolean column masquerade as integer.
+        assert AttributeType.infer([True, False]) is AttributeType.BOOLEAN
+
+
+class TestAttribute:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Attribute("")
+
+    def test_requires_attribute_type(self):
+        with pytest.raises(TypeError):
+            Attribute("a", "integer")
+
+    def test_str_is_name(self):
+        assert str(Attribute("salary", AttributeType.INTEGER)) == "salary"
+
+    def test_equality_and_hash(self):
+        first = Attribute("a", AttributeType.INTEGER)
+        second = Attribute("a", AttributeType.INTEGER)
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestSchema:
+    def test_names_in_order(self):
+        schema = Schema.from_names(["b", "a", "c"])
+        assert schema.names == ["b", "a", "c"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema.from_names(["a", "b", "a"])
+
+    def test_index_of(self):
+        schema = Schema.from_names(["a", "b", "c"])
+        assert schema.index_of("b") == 1
+
+    def test_index_of_unknown_raises_keyerror(self):
+        schema = Schema.from_names(["a"])
+        with pytest.raises(KeyError):
+            schema.index_of("zzz")
+
+    def test_indices_of_preserves_order(self):
+        schema = Schema.from_names(["a", "b", "c"])
+        assert schema.indices_of(["c", "a"]) == (2, 0)
+
+    def test_contains(self):
+        schema = Schema.from_names(["a", "b"])
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_len_and_iter(self):
+        schema = Schema.from_names(["a", "b", "c"])
+        assert len(schema) == 3
+        assert [attribute.name for attribute in schema] == ["a", "b", "c"]
+
+    def test_getitem(self):
+        schema = Schema.from_names(["a", "b"])
+        assert schema[1].name == "b"
+
+    def test_project(self):
+        schema = Schema.from_names(["a", "b", "c"])
+        assert schema.project(["c", "a"]).names == ["c", "a"]
+
+    def test_rename(self):
+        schema = Schema.from_names(["a", "b"])
+        renamed = schema.rename({"a": "x"})
+        assert renamed.names == ["x", "b"]
+
+    def test_from_names_with_types(self):
+        schema = Schema.from_names(
+            ["a", "b"], [AttributeType.INTEGER, AttributeType.STRING]
+        )
+        assert schema.attribute("a").type is AttributeType.INTEGER
+
+    def test_from_names_type_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Schema.from_names(["a", "b"], [AttributeType.INTEGER])
+
+    def test_schema_hashable(self):
+        first = Schema.from_names(["a", "b"])
+        second = Schema.from_names(["a", "b"])
+        assert hash(first) == hash(second)

@@ -1,0 +1,56 @@
+"""Tests for repro.dataset.sorting."""
+
+from repro.dataset.sorting import (
+    is_non_decreasing,
+    is_strictly_increasing,
+    projection,
+    sort_class_asc_asc,
+    sort_class_asc_desc,
+    tie_groups,
+)
+
+
+class TestSortClass:
+    def test_asc_asc_primary_then_secondary(self):
+        a = [3, 1, 1, 2]
+        b = [0, 5, 2, 9]
+        assert sort_class_asc_asc([0, 1, 2, 3], a, b) == [2, 1, 3, 0]
+
+    def test_asc_desc_breaks_ties_descending(self):
+        a = [1, 1, 2]
+        b = [5, 9, 0]
+        assert sort_class_asc_desc([0, 1, 2], a, b) == [1, 0, 2]
+
+    def test_subset_of_rows_only(self):
+        a = [9, 1, 5, 3]
+        b = [0, 0, 0, 0]
+        assert sort_class_asc_asc([0, 2], a, b) == [2, 0]
+
+
+class TestProjectionsAndGroups:
+    def test_projection(self):
+        assert projection([2, 0], [10, 20, 30]) == [30, 10]
+
+    def test_tie_groups(self):
+        ranks = [1, 1, 2, 3, 3, 3]
+        groups = tie_groups([0, 1, 2, 3, 4, 5], ranks)
+        assert [(rank, rows) for rank, rows in groups] == [
+            (1, [0, 1]),
+            (2, [2]),
+            (3, [3, 4, 5]),
+        ]
+
+    def test_tie_groups_empty(self):
+        assert tie_groups([], [1, 2]) == []
+
+
+class TestMonotonicity:
+    def test_non_decreasing(self):
+        assert is_non_decreasing([1, 1, 2, 3])
+        assert not is_non_decreasing([1, 2, 1])
+        assert is_non_decreasing([])
+        assert is_non_decreasing([7])
+
+    def test_strictly_increasing(self):
+        assert is_strictly_increasing([1, 2, 3])
+        assert not is_strictly_increasing([1, 1, 2])

@@ -1,0 +1,74 @@
+"""Tests for the canonical mapping (Section 2.2, Example 2.13)."""
+
+from repro.dependencies.canonical import canonical_od_components, canonicalize_list_od
+from repro.dependencies.oc import CanonicalOC
+from repro.dependencies.od import ListOD
+from repro.dependencies.ofd import OFD
+
+
+class TestExample213:
+    def test_ab_maps_to_cd(self):
+        """[A, B] |-> [C, D] maps to exactly the six canonical ODs of
+        Example 2.13."""
+        dependencies = canonicalize_list_od(ListOD(["A", "B"], ["C", "D"]))
+        expected = [
+            OFD({"A", "B"}, "C"),
+            OFD({"A", "B"}, "D"),
+            CanonicalOC([], "A", "C"),
+            CanonicalOC({"A"}, "B", "C"),
+            CanonicalOC({"C"}, "A", "D"),
+            CanonicalOC({"A", "C"}, "B", "D"),
+        ]
+        assert len(dependencies) == len(expected)
+        assert set(map(repr, dependencies)) == set(map(repr, expected)) or all(
+            dependency in dependencies for dependency in expected
+        )
+
+    def test_single_attribute_od(self):
+        dependencies = canonicalize_list_od(ListOD(["sal"], ["taxGrp"]))
+        assert OFD({"sal"}, "taxGrp") in dependencies
+        assert CanonicalOC([], "sal", "taxGrp") in dependencies
+        assert len(dependencies) == 2
+
+
+class TestTrivialitiesSkipped:
+    def test_repeated_attribute_across_sides(self):
+        # [A] |-> [A, B]: the OFD for A and the OC A ~ A are trivial.
+        dependencies = canonicalize_list_od(ListOD(["A"], ["A", "B"]))
+        assert OFD({"A"}, "B") in dependencies
+        assert all(
+            not (isinstance(d, CanonicalOC) and {d.a, d.b} == {"A"})
+            for d in dependencies
+        )
+
+    def test_side_inside_context_skipped(self):
+        # [A, B] |-> [B]: the OC candidate at i=2, j=1 would put B in its own
+        # context; it must be skipped rather than raise.
+        dependencies = canonicalize_list_od(ListOD(["A", "B"], ["B"]))
+        assert all(isinstance(d, (OFD, CanonicalOC)) for d in dependencies)
+
+    def test_empty_lhs(self):
+        # [] |-> [A]: A must be constant; there is no OC part.
+        dependencies = canonicalize_list_od(ListOD([], ["A"]))
+        assert dependencies == [OFD([], "A")]
+
+    def test_no_duplicate_ocs(self):
+        dependencies = canonicalize_list_od(ListOD(["A", "B"], ["C", "D"]))
+        assert len(dependencies) == len(set(dependencies))
+
+
+class TestPolynomialSize:
+    def test_size_is_quadratic_not_exponential(self):
+        lhs = [f"x{i}" for i in range(6)]
+        rhs = [f"y{i}" for i in range(6)]
+        dependencies = canonicalize_list_od(ListOD(lhs, rhs))
+        # |Y| OFDs + |X|*|Y| OCs at most.
+        assert len(dependencies) <= len(rhs) + len(lhs) * len(rhs)
+        assert len(dependencies) == 6 + 36
+
+
+class TestComponents:
+    def test_canonical_od_components(self):
+        oc, ofd = canonical_od_components({"x"}, "a", "b")
+        assert oc == CanonicalOC({"x"}, "a", "b")
+        assert ofd == OFD({"x", "a"}, "b")

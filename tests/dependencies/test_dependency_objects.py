@@ -1,0 +1,147 @@
+"""Tests for the dependency statement classes (FD, OC, OFD, OD)."""
+
+import pytest
+
+from repro.dependencies.fd import FD
+from repro.dependencies.oc import CanonicalOC
+from repro.dependencies.od import CanonicalOD, ListOD
+from repro.dependencies.ofd import OFD
+
+
+class TestFD:
+    def test_equality_ignores_lhs_order(self):
+        assert FD(["a", "b"], "c") == FD(["b", "a"], "c")
+
+    def test_hashable(self):
+        assert len({FD(["a"], "b"), FD(["a"], "b")}) == 1
+
+    def test_trivial_rejected(self):
+        with pytest.raises(ValueError):
+            FD(["a", "b"], "a")
+
+    def test_attributes(self):
+        assert FD(["a"], "b").attributes() == frozenset({"a", "b"})
+
+    def test_repr(self):
+        assert "->" in repr(FD(["a"], "b"))
+
+    def test_is_trivial_false(self):
+        assert not FD(["a"], "b").is_trivial()
+
+
+class TestCanonicalOC:
+    def test_symmetry_in_sides(self):
+        assert CanonicalOC(["x"], "a", "b") == CanonicalOC(["x"], "b", "a")
+        assert hash(CanonicalOC([], "a", "b")) == hash(CanonicalOC([], "b", "a"))
+
+    def test_different_context_not_equal(self):
+        assert CanonicalOC(["x"], "a", "b") != CanonicalOC([], "a", "b")
+
+    def test_trivial_same_side_rejected(self):
+        with pytest.raises(ValueError):
+            CanonicalOC([], "a", "a")
+
+    def test_side_in_context_rejected(self):
+        with pytest.raises(ValueError):
+            CanonicalOC(["a"], "a", "b")
+
+    def test_level_is_context_plus_two(self):
+        assert CanonicalOC([], "a", "b").level == 2
+        assert CanonicalOC(["x", "y"], "a", "b").level == 4
+
+    def test_attributes(self):
+        assert CanonicalOC(["x"], "a", "b").attributes() == frozenset({"x", "a", "b"})
+
+    def test_flipped_equals_original(self):
+        oc = CanonicalOC(["x"], "a", "b")
+        assert oc.flipped() == oc
+
+    def test_normalized_orders_sides(self):
+        assert CanonicalOC([], "z", "a").normalized().a == "a"
+
+    def test_repr_contains_tilde(self):
+        assert "~" in repr(CanonicalOC([], "a", "b"))
+
+
+class TestOFD:
+    def test_equality_and_hash(self):
+        assert OFD(["a"], "b") == OFD(["a"], "b")
+        assert len({OFD(["a"], "b"), OFD(["a"], "b")}) == 1
+
+    def test_trivial_rejected(self):
+        with pytest.raises(ValueError):
+            OFD(["a", "b"], "a")
+
+    def test_level_is_context_plus_one(self):
+        assert OFD([], "a").level == 1
+        assert OFD(["x", "y"], "a").level == 3
+
+    def test_to_fd(self):
+        assert OFD(["x"], "a").to_fd() == FD(["x"], "a")
+
+    def test_to_fd_empty_context(self):
+        fd = OFD([], "a").to_fd()
+        assert fd.lhs == frozenset()
+        assert fd.rhs == "a"
+
+    def test_attributes(self):
+        assert OFD(["x"], "a").attributes() == frozenset({"x", "a"})
+
+
+class TestListOD:
+    def test_sides_preserve_order(self):
+        od = ListOD(["a", "b"], ["c"])
+        assert od.lhs == ("a", "b")
+        assert od.rhs == ("c",)
+
+    def test_order_matters_for_equality(self):
+        assert ListOD(["a", "b"], ["c"]) != ListOD(["b", "a"], ["c"])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            ListOD(["a", "a"], ["b"])
+        with pytest.raises(ValueError):
+            ListOD(["a"], ["b", "b"])
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(ValueError):
+            ListOD(["a"], [])
+
+    def test_empty_lhs_allowed(self):
+        # [] |-> Y states that Y is constant over the whole table.
+        assert ListOD([], ["a"]).lhs == ()
+
+    def test_reversed(self):
+        assert ListOD(["a"], ["b"]).reversed() == ListOD(["b"], ["a"])
+
+    def test_attributes(self):
+        assert ListOD(["a"], ["b", "c"]).attributes() == frozenset({"a", "b", "c"})
+
+    def test_hashable(self):
+        assert len({ListOD(["a"], ["b"]), ListOD(["a"], ["b"])}) == 1
+
+
+class TestCanonicalOD:
+    def test_components(self):
+        od = CanonicalOD(["x"], "a", "b")
+        oc, ofd = od.components()
+        assert oc == CanonicalOC(["x"], "a", "b")
+        assert ofd == OFD(["x", "a"], "b")
+
+    def test_not_symmetric(self):
+        assert CanonicalOD([], "a", "b") != CanonicalOD([], "b", "a")
+
+    def test_trivial_rejected(self):
+        with pytest.raises(ValueError):
+            CanonicalOD([], "a", "a")
+        with pytest.raises(ValueError):
+            CanonicalOD(["a"], "a", "b")
+
+    def test_level(self):
+        assert CanonicalOD(["x"], "a", "b").level == 3
+
+    def test_to_list_od(self):
+        od = CanonicalOD(["x"], "a", "b")
+        list_od = od.to_list_od()
+        assert list_od.lhs == ("x", "a")
+        assert list_od.rhs == ("x", "b")

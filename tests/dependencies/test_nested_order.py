@@ -1,0 +1,79 @@
+"""Tests for the nested (lexicographic) order of Definition 2.1."""
+
+from hypothesis import given, strategies as st
+
+from repro.dataset.examples import employee_salary_table
+from repro.dataset.relation import Relation
+from repro.dependencies.nested_order import (
+    nested_compare,
+    nested_leq,
+    nested_lt,
+    sort_rows_by,
+)
+
+
+class TestNestedOrderOnEmployeeTable:
+    def setup_method(self):
+        self.encoded = employee_salary_table().encoded()
+
+    def test_empty_list_always_leq(self):
+        # s <=_[] t for every pair (Definition 2.1, first bullet).
+        assert nested_leq(self.encoded, 0, 5, [])
+        assert nested_leq(self.encoded, 5, 0, [])
+
+    def test_single_attribute(self):
+        # t1.sal=20K < t2.sal=25K
+        assert nested_lt(self.encoded, 0, 1, ["sal"])
+        assert not nested_leq(self.encoded, 1, 0, ["sal"])
+
+    def test_tie_broken_by_tail(self):
+        # t6 and t7 share pos=dev, exp=5; sal breaks the tie (55K < 60K).
+        assert nested_compare(self.encoded, 5, 6, ["pos", "exp"]) == 0
+        assert nested_lt(self.encoded, 5, 6, ["pos", "exp", "sal"])
+
+    def test_equal_projection_is_zero(self):
+        # t5 and t7 share taxGrp=B.
+        assert nested_compare(self.encoded, 4, 6, ["taxGrp"]) == 0
+
+    def test_compare_antisymmetry(self):
+        assert nested_compare(self.encoded, 2, 7, ["pos", "sal"]) == -nested_compare(
+            self.encoded, 7, 2, ["pos", "sal"]
+        )
+
+    def test_sort_rows_by(self):
+        rows = sort_rows_by(self.encoded, range(9), ["sal"])
+        assert rows == list(range(9))  # Table 1 is listed in salary order
+
+
+class TestNestedOrderProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    def test_matches_python_tuple_order(self, rows):
+        relation = Relation.from_rows(rows, ["a", "b", "c"])
+        encoded = relation.encoded()
+        attrs = ["a", "b", "c"]
+        for s in range(len(rows)):
+            for t in range(len(rows)):
+                expected = (rows[s] > rows[t]) - (rows[s] < rows[t])
+                assert nested_compare(encoded, s, t, attrs) == expected
+
+    @given(
+        st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=3, max_size=15)
+    )
+    def test_transitivity(self, rows):
+        relation = Relation.from_rows(rows, ["a", "b"])
+        encoded = relation.encoded()
+        attrs = ["a", "b"]
+        indices = range(len(rows))
+        for s in indices:
+            for t in indices:
+                for u in indices:
+                    if nested_leq(encoded, s, t, attrs) and nested_leq(
+                        encoded, t, u, attrs
+                    ):
+                        assert nested_leq(encoded, s, u, attrs)

@@ -1,0 +1,110 @@
+"""Tests for swap/split enumeration and the brute-force OD semantics.
+
+These pin the paper's worked examples (2.4, 2.7, 2.15) to the code.
+"""
+
+from repro.dataset.examples import employee_salary_table, tuple_ids_to_rows
+from repro.dependencies.oc import CanonicalOC
+from repro.dependencies.od import ListOD
+from repro.dependencies.ofd import OFD
+from repro.dependencies.violations import (
+    count_splits,
+    count_swaps,
+    find_splits,
+    find_swaps,
+    minimal_removal_size_bruteforce,
+    oc_holds,
+    od_holds,
+    ofd_holds,
+    order_compatible,
+    order_equivalent,
+    removal_set_is_valid,
+)
+
+
+class TestExample24:
+    """Example 2.4: sal |-> taxGrp holds; taxGrp ~ sal holds; taxGrp |-> sal fails."""
+
+    def setup_method(self):
+        self.table = employee_salary_table()
+
+    def test_sal_orders_taxgrp(self):
+        assert od_holds(self.table, ListOD(["sal"], ["taxGrp"]))
+
+    def test_taxgrp_does_not_order_sal(self):
+        assert not od_holds(self.table, ListOD(["taxGrp"], ["sal"]))
+
+    def test_taxgrp_order_compatible_with_sal(self):
+        assert order_compatible(self.table, ["taxGrp"], ["sal"])
+        assert oc_holds(self.table, CanonicalOC([], "taxGrp", "sal"))
+
+
+class TestExample27:
+    """Example 2.7: t7/t8 are a swap and t6/t7 a split for pos,exp |-> pos,sal."""
+
+    def setup_method(self):
+        self.table = employee_salary_table()
+
+    def test_swap_t7_t8(self):
+        # The list OC pos,exp ~ pos,sal reduces to the canonical OC
+        # {pos}: exp ~ sal; the paper's example swap (t7, t8) is among its
+        # swaps, and every swap involves t8 (exp=-1 but the highest dev
+        # salary), which is why the minimal removal set is {t8} (Section 1.1).
+        swaps = find_swaps(self.table, CanonicalOC({"pos"}, "exp", "sal"))
+        assert (6, 7) in swaps  # rows of t7 and t8
+        assert all(7 in pair for pair in swaps)
+        assert minimal_removal_size_bruteforce(
+            self.table, CanonicalOC({"pos"}, "exp", "sal")
+        ) == 1
+
+    def test_split_t6_t7(self):
+        splits = find_splits(self.table, OFD({"pos", "exp"}, "sal"))
+        assert (5, 6) in splits  # t6 and t7 share pos=dev, exp=5 but differ in sal
+
+
+class TestExample215:
+    """Example 2.15: e(sal ~ tax) = 4/9 with removal set {t1, t2, t4, t6}."""
+
+    def test_removal_set_of_size_four_is_valid_and_minimal(self):
+        table = employee_salary_table()
+        oc = CanonicalOC([], "sal", "tax")
+        removal = tuple_ids_to_rows({"t1", "t2", "t4", "t6"})
+        assert removal_set_is_valid(table, oc, removal)
+        assert minimal_removal_size_bruteforce(table, oc) == 4
+
+    def test_smaller_sets_do_not_work(self):
+        table = employee_salary_table()
+        oc = CanonicalOC([], "sal", "tax")
+        assert not removal_set_is_valid(table, oc, tuple_ids_to_rows({"t1", "t2", "t4"}))
+
+
+class TestCountsAndChecks:
+    def setup_method(self):
+        self.table = employee_salary_table()
+
+    def test_exact_oc_has_no_swaps(self):
+        assert count_swaps(self.table, CanonicalOC([], "sal", "taxGrp")) == 0
+
+    def test_sal_tax_swap_count_positive(self):
+        assert count_swaps(self.table, CanonicalOC([], "sal", "tax")) > 0
+
+    def test_ofd_holds_bonus_constant_within_pos_sal(self):
+        # Example 2.12: {pos, sal}: [] |-> bonus.
+        assert ofd_holds(self.table, OFD({"pos", "sal"}, "bonus"))
+
+    def test_ofd_fails_pos_exp_sal(self):
+        # The motivating split: pos, exp does not determine sal.
+        assert not ofd_holds(self.table, OFD({"pos", "exp"}, "sal"))
+        assert count_splits(self.table, OFD({"pos", "exp"}, "sal")) >= 1
+
+    def test_order_equivalence_reflexive(self):
+        assert order_equivalent(self.table, ["sal"], ["sal"])
+
+    def test_example_212_oc_with_context(self):
+        # Example 2.12: {pos}: sal ~ bonus.
+        assert oc_holds(self.table, CanonicalOC({"pos"}, "sal", "bonus"))
+
+    def test_empty_context_pair_swaps_symmetric(self):
+        oc = CanonicalOC([], "sal", "tax")
+        flipped = CanonicalOC([], "tax", "sal")
+        assert find_swaps(self.table, oc) == find_swaps(self.table, flipped)

@@ -1,0 +1,78 @@
+"""Tests for DiscoveryConfig, DiscoveryStatistics and the phase timers."""
+
+import time
+
+import pytest
+
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.stats import DiscoveryStatistics, PhaseTimer
+
+
+class TestDiscoveryConfig:
+    def test_defaults(self):
+        config = DiscoveryConfig()
+        assert config.threshold == 0.0
+        assert config.validator == "optimal"
+        assert config.is_exact
+
+    def test_exact_factory(self):
+        config = DiscoveryConfig.exact()
+        assert config.is_exact
+        assert config.validator == "exact"
+
+    def test_approximate_factory(self):
+        config = DiscoveryConfig.approximate(threshold=0.2, validator="iterative")
+        assert config.threshold == 0.2
+        assert config.validator == "iterative"
+        assert not config.is_exact
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            DiscoveryConfig(threshold=1.5)
+        with pytest.raises(ValueError):
+            DiscoveryConfig(threshold=-0.1)
+
+    def test_invalid_validator(self):
+        with pytest.raises(ValueError):
+            DiscoveryConfig(validator="magic")
+
+    def test_exact_validator_with_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            DiscoveryConfig(threshold=0.1, validator="exact")
+
+    def test_invalid_max_level(self):
+        with pytest.raises(ValueError):
+            DiscoveryConfig(max_level=0)
+
+
+class TestStatistics:
+    def test_validation_share(self):
+        stats = DiscoveryStatistics(
+            total_seconds=10.0,
+            oc_validation_seconds=6.0,
+            ofd_validation_seconds=2.0,
+        )
+        assert stats.validation_seconds == 8.0
+        assert stats.validation_share == 0.8
+
+    def test_validation_share_with_zero_total(self):
+        assert DiscoveryStatistics().validation_share == 0.0
+
+    def test_validation_share_capped_at_one(self):
+        stats = DiscoveryStatistics(total_seconds=1.0, oc_validation_seconds=2.0)
+        assert stats.validation_share == 1.0
+
+    def test_as_dict_round_trip(self):
+        stats = DiscoveryStatistics(oc_candidates_validated=5, nodes_processed=3)
+        flattened = stats.as_dict()
+        assert flattened["oc_candidates_validated"] == 5
+        assert flattened["nodes_processed"] == 3
+        assert "validation_share" in flattened
+
+    def test_phase_timer_accumulates(self):
+        stats = DiscoveryStatistics()
+        with PhaseTimer(stats, "oc_validation_seconds"):
+            time.sleep(0.01)
+        with PhaseTimer(stats, "oc_validation_seconds"):
+            time.sleep(0.01)
+        assert stats.oc_validation_seconds >= 0.02

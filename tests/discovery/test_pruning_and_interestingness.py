@@ -1,0 +1,85 @@
+"""Tests for the pruning knowledge base and the interestingness score."""
+
+import pytest
+
+from repro.dependencies.ofd import OFD
+from repro.discovery.interestingness import context_coverage, interestingness_score
+from repro.discovery.pruning import (
+    KnowledgeBase,
+    oc_pruned_by_constancy,
+    ofd_pruned_by_subcontext,
+)
+
+
+class TestKnowledgeBase:
+    def test_record_and_lookup(self):
+        kb = KnowledgeBase()
+        kb.record_ofd(OFD({"x"}, "a"), holds_exactly=True)
+        assert kb.ofd_known_valid(frozenset({"x"}), "a")
+        assert kb.ofd_known_exact(frozenset({"x"}), "a")
+        assert not kb.ofd_known_valid(frozenset(), "a")
+        assert kb.num_valid_ofds == 1
+
+    def test_approximate_ofd_not_marked_exact(self):
+        kb = KnowledgeBase()
+        kb.record_ofd(OFD({"x"}, "a"), holds_exactly=False)
+        assert kb.ofd_known_valid(frozenset({"x"}), "a")
+        assert not kb.ofd_known_exact(frozenset({"x"}), "a")
+
+    def test_constant_attribute(self):
+        kb = KnowledgeBase()
+        kb.record_ofd(OFD([], "a"), holds_exactly=True)
+        assert kb.is_constant("a")
+        assert not kb.is_constant("b")
+
+
+class TestPruningRules:
+    def test_oc_pruned_when_either_side_constant_in_context(self):
+        kb = KnowledgeBase()
+        kb.record_ofd(OFD({"x"}, "a"), holds_exactly=True)
+        assert oc_pruned_by_constancy(frozenset({"x"}), "a", "b", kb)
+        assert oc_pruned_by_constancy(frozenset({"x"}), "b", "a", kb)
+        assert not oc_pruned_by_constancy(frozenset(), "a", "b", kb)
+        assert not oc_pruned_by_constancy(frozenset({"x"}), "c", "b", kb)
+
+    def test_ofd_pruned_by_same_context(self):
+        kb = KnowledgeBase()
+        kb.record_ofd(OFD({"x"}, "a"), holds_exactly=True)
+        assert ofd_pruned_by_subcontext(frozenset({"x"}), "a", kb)
+
+    def test_ofd_pruned_by_smaller_context(self):
+        kb = KnowledgeBase()
+        kb.record_ofd(OFD({"x"}, "a"), holds_exactly=True)
+        assert ofd_pruned_by_subcontext(frozenset({"x", "y"}), "a", kb)
+
+    def test_ofd_not_pruned_without_evidence(self):
+        kb = KnowledgeBase()
+        assert not ofd_pruned_by_subcontext(frozenset({"x"}), "a", kb)
+
+
+class TestInterestingness:
+    def test_smaller_context_scores_higher(self):
+        assert interestingness_score(0, 1.0) > interestingness_score(1, 1.0)
+        assert interestingness_score(1, 1.0) > interestingness_score(3, 1.0)
+
+    def test_higher_coverage_scores_higher(self):
+        assert interestingness_score(1, 0.9) > interestingness_score(1, 0.3)
+
+    def test_lower_approximation_scores_higher(self):
+        assert interestingness_score(0, 1.0, 0.0) > interestingness_score(0, 1.0, 0.3)
+
+    def test_score_in_unit_interval(self):
+        assert 0 < interestingness_score(0, 1.0, 0.0) <= 1.0
+        assert 0 <= interestingness_score(5, 0.1, 0.9) < 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            interestingness_score(0, 1.5)
+        with pytest.raises(ValueError):
+            interestingness_score(0, 1.0, 2.0)
+
+    def test_context_coverage(self):
+        assert context_coverage([[0, 1, 2]], 3) == 1.0
+        assert context_coverage([[0, 1]], 4) == 0.5
+        assert context_coverage([], 4) == 0.0
+        assert context_coverage([], 0) == 0.0

@@ -1,0 +1,93 @@
+"""End-to-end pipeline tests on synthetic workloads (Figure 1 front to back)."""
+
+import pytest
+
+from repro.applications.error_repair import propose_repairs
+from repro.applications.outlier_detection import detect_outliers
+from repro.benchlib.workloads import WorkloadSpec, make_workload
+from repro.dataset.csv_io import read_csv, write_csv
+from repro.dependencies.oc import CanonicalOC
+from repro.dependencies.violations import oc_holds
+from repro.discovery.api import discover_aods, discover_ods
+from repro.validation.approx_oc_optimal import validate_aoc_optimal
+
+
+class TestFlightPipeline:
+    def test_discovery_finds_planted_aocs(self):
+        workload = make_workload(WorkloadSpec("flight", 400, 10, error_rate=0.05))
+        result = discover_aods(workload.relation, threshold=0.1, max_level=3)
+        # The planted arrivalDelay ~ lateAircraftDelay AOC (or a more minimal
+        # statement implying it at a lower level) must be discoverable:
+        # validate it directly and check the discovery found *some* AOC
+        # involving the pair or a subsuming dependency.
+        planted = next(
+            p for p in workload.planted_ocs if p.a == "arrivalDelay"
+        )
+        oc = CanonicalOC((), planted.a, planted.b)
+        direct = validate_aoc_optimal(workload.relation, oc)
+        assert direct.approximation_factor <= 0.1
+        assert result.find_oc(planted.a, planted.b) is not None
+
+    def test_exact_discovery_misses_planted_aocs(self):
+        """Exp-6: the exact algorithm cannot report the dirty dependencies."""
+        workload = make_workload(WorkloadSpec("flight", 400, 10, error_rate=0.05))
+        exact = discover_ods(workload.relation, max_level=2)
+        planted = next(p for p in workload.planted_ocs if p.a == "arrivalDelay")
+        assert exact.find_oc(planted.a, planted.b) is None
+
+    def test_csv_roundtrip_preserves_discovery(self, tmp_path):
+        workload = make_workload(WorkloadSpec("flight", 200, 6, error_rate=0.05))
+        path = tmp_path / "flight.csv"
+        write_csv(workload.relation, path)
+        reloaded = read_csv(path)
+        original = discover_aods(workload.relation, threshold=0.1, max_level=2)
+        roundtrip = discover_aods(reloaded, threshold=0.1, max_level=2)
+        assert {repr(f.oc) for f in original.ocs} == {repr(f.oc) for f in roundtrip.ocs}
+
+
+class TestNCVoterPipeline:
+    def test_outlier_detection_flags_planted_errors(self):
+        workload = make_workload(WorkloadSpec("ncvoter", 300, 10, error_rate=0.05))
+        result = discover_aods(workload.relation, threshold=0.1, max_level=2)
+        report = detect_outliers(workload.relation, result)
+        planted_rows = set()
+        for planted in workload.planted_ocs:
+            planted_rows |= set(planted.approx_rows)
+        flagged = set(report.scores)
+        # A majority of the flagged rows are genuinely dirty.
+        if flagged:
+            precision = len(flagged & planted_rows) / len(flagged)
+            assert precision >= 0.5
+
+    def test_repair_restores_planted_dependency(self):
+        workload = make_workload(WorkloadSpec("ncvoter", 300, 10, error_rate=0.05))
+        planted = workload.planted_ocs[0]
+        oc = CanonicalOC(planted.context, planted.a, planted.b)
+        plan = propose_repairs(workload.relation, ocs=[oc])
+        repaired = plan.apply_removals(workload.relation)
+        assert oc_holds(repaired, oc)
+        assert repaired.num_rows >= workload.relation.num_rows - len(planted.approx_rows)
+
+
+class TestScalingSanity:
+    @pytest.mark.parametrize("rows", [50, 200])
+    def test_discovery_counts_grow_monotonically_with_threshold(self, rows):
+        workload = make_workload(WorkloadSpec("flight", rows, 8, error_rate=0.08))
+        strict = discover_aods(workload.relation, threshold=0.0, max_level=3)
+        loose = discover_aods(workload.relation, threshold=0.2, max_level=3)
+        # A looser threshold can only make individual candidates easier to
+        # accept; the *minimal* sets can shift levels, so compare total
+        # dependency counts which should not collapse.
+        assert loose.num_dependencies >= 1
+        assert strict.num_dependencies >= 1
+
+    def test_validation_dominates_runtime_for_iterative(self):
+        """Exp-3's observation in miniature: with the iterative validator the
+        validation share of runtime exceeds the optimal validator's."""
+        workload = make_workload(WorkloadSpec("flight", 300, 8, error_rate=0.1))
+        from repro.benchlib.harness import measure_discovery
+
+        optimal = measure_discovery(workload.relation, "aod-optimal", threshold=0.1)
+        iterative = measure_discovery(workload.relation, "aod-iterative", threshold=0.1)
+        assert iterative.validation_share >= optimal.validation_share
+        assert iterative.seconds >= optimal.seconds

@@ -1,0 +1,58 @@
+"""Tests for the repro-discover command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dataset.csv_io import write_csv
+from repro.dataset.examples import employee_salary_table
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["data.csv"])
+        assert args.csv == "data.csv"
+        assert args.threshold == 0.1
+        assert args.validator == "optimal"
+        assert not args.exact
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["--demo", "--exact", "--max-level", "3", "--attributes", "a", "b"]
+        )
+        assert args.demo and args.exact
+        assert args.max_level == 3
+        assert args.attributes == ["a", "b"]
+
+
+class TestMain:
+    def test_demo_run(self, capsys):
+        assert main(["--demo", "--threshold", "0.15", "--top", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "Discovery mode: approximate" in output
+        assert "order compatibilities" in output
+
+    def test_demo_exact_run(self, capsys):
+        assert main(["--demo", "--exact"]) == 0
+        output = capsys.readouterr().out
+        assert "Discovery mode: exact" in output
+
+    def test_csv_input(self, tmp_path, capsys):
+        path = tmp_path / "employees.csv"
+        write_csv(employee_salary_table(), path)
+        code = main([str(path), "--threshold", "0.15", "--attributes",
+                     "pos", "exp", "sal", "taxGrp"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Discovered:" in output
+
+    def test_outliers_flag(self, capsys):
+        assert main(["--demo", "--threshold", "0.2", "--outliers"]) == 0
+        output = capsys.readouterr().out
+        assert "suspicious tuples" in output
+
+    def test_missing_input_is_an_error(self, capsys):
+        assert main([]) == 2
+        assert "provide a CSV file or --demo" in capsys.readouterr().err
+
+    def test_iterative_validator(self, capsys):
+        assert main(["--demo", "--validator", "iterative"]) == 0

@@ -1,0 +1,127 @@
+"""Tests for Algorithm 1 (the greedy iterative AOC validator)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset.examples import employee_salary_table
+from repro.dataset.generators import generate_planted_oc_table
+from repro.dataset.relation import Relation
+from repro.dependencies.oc import CanonicalOC
+from repro.dependencies.violations import removal_set_is_valid
+from repro.validation.approx_oc_iterative import (
+    class_greedy_removal,
+    iterative_removal_rows,
+    validate_aoc_iterative,
+)
+from repro.validation.approx_oc_optimal import validate_aoc_optimal
+
+
+class TestPaperExample31:
+    def test_overestimates_sal_tax(self):
+        """Example 3.1: the greedy validator removes 5 tuples for sal ~ tax
+        (reporting 5/9 ≈ 0.56) although the true factor is 4/9 ≈ 0.44."""
+        table = employee_salary_table()
+        oc = CanonicalOC([], "sal", "tax")
+        result = validate_aoc_iterative(table, oc)
+        assert result.removal_size == 5
+        assert abs(result.approximation_factor - 5 / 9) < 1e-9
+
+    def test_greedy_removal_set_still_repairs_the_oc(self):
+        table = employee_salary_table()
+        oc = CanonicalOC([], "sal", "tax")
+        result = validate_aoc_iterative(table, oc)
+        assert removal_set_is_valid(table, oc, result.removal_rows)
+
+    def test_exact_oc_untouched(self):
+        table = employee_salary_table()
+        result = validate_aoc_iterative(table, CanonicalOC([], "sal", "taxGrp"))
+        assert result.holds_exactly
+
+    def test_threshold_abort_marks_invalid(self):
+        table = employee_salary_table()
+        oc = CanonicalOC([], "sal", "tax")
+        result = validate_aoc_iterative(table, oc, threshold=0.1)
+        assert result.exceeded_threshold
+        assert not result.is_valid
+
+    def test_missed_aoc_near_threshold(self):
+        """The completeness gap the paper exploits in Exp-4: a candidate
+        whose true factor is below the threshold but whose greedy estimate is
+        above it is wrongly rejected by the iterative validator."""
+        table = employee_salary_table()
+        oc = CanonicalOC([], "sal", "tax")  # true 0.444, greedy 0.556
+        threshold = 0.5
+        assert validate_aoc_optimal(table, oc, threshold=threshold).is_valid
+        assert not validate_aoc_iterative(table, oc, threshold=threshold).is_valid
+
+
+small_tables = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 2)),
+    min_size=0,
+    max_size=10,
+)
+
+
+class TestGreedyProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(small_tables)
+    def test_greedy_never_beats_optimal_and_always_repairs(self, rows):
+        relation = Relation.from_rows(rows, ["a", "b", "c"])
+        oc = CanonicalOC([], "a", "b")
+        greedy = validate_aoc_iterative(relation, oc)
+        optimal = validate_aoc_optimal(relation, oc)
+        assert greedy.removal_size >= optimal.removal_size
+        assert removal_set_is_valid(relation, oc, greedy.removal_rows)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_tables)
+    def test_greedy_with_context(self, rows):
+        relation = Relation.from_rows(rows, ["a", "b", "c"])
+        oc = CanonicalOC(["c"], "a", "b")
+        greedy = validate_aoc_iterative(relation, oc)
+        optimal = validate_aoc_optimal(relation, oc)
+        assert greedy.removal_size >= optimal.removal_size
+        assert removal_set_is_valid(relation, oc, greedy.removal_rows)
+
+    def test_planted_workload_upper_bound(self):
+        workload = generate_planted_oc_table(150, approximation_factor=0.1, seed=4)
+        (planted,) = workload.planted_ocs
+        oc = CanonicalOC(planted.context, planted.a, planted.b)
+        result = validate_aoc_iterative(workload.relation, oc)
+        # The greedy set repairs the OC, so it is at least the minimal size;
+        # on this adversarially simple workload it should not explode either.
+        assert 15 <= result.removal_size <= 150
+        assert removal_set_is_valid(workload.relation, oc, result.removal_rows)
+
+
+class TestKernelFunctions:
+    def test_class_greedy_removal_stops_when_no_swaps(self):
+        removed, exceeded = class_greedy_removal([0, 1, 2], [0, 1, 2], [0, 1, 2])
+        assert removed == [] and not exceeded
+
+    def test_class_greedy_removal_budget(self):
+        # Three mutually swapped pairs force at least 2 removals; budget 1
+        # must abort.
+        a = [0, 1, 2]
+        b = [2, 1, 0]
+        removed, exceeded = class_greedy_removal([0, 1, 2], a, b, budget=1)
+        assert exceeded
+        assert len(removed) == 2  # the removal that crossed the budget is kept
+
+    def test_iterative_removal_rows_budget_spans_classes(self):
+        # Each class forces one removal (2 total) but the global budget is 1,
+        # so the second class crosses it and the candidate is invalid.
+        a = [0, 1, 0, 1]
+        b = [1, 0, 1, 0]
+        classes = [[0, 1], [2, 3]]
+        removal, exceeded = iterative_removal_rows(classes, a, b, limit=1)
+        assert exceeded
+        assert len(removal) == 2
+
+    def test_iterative_removal_rows_within_budget(self):
+        a = [0, 1, 0, 1]
+        b = [1, 0, 2, 3]
+        classes = [[0, 1], [2, 3]]  # only the first class has a swap
+        removal, exceeded = iterative_removal_rows(classes, a, b, limit=1)
+        assert not exceeded
+        assert len(removal) == 1

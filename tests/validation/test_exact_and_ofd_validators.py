@@ -1,0 +1,156 @@
+"""Tests for the exact OC/OFD validators and the approximate OFD validator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset.examples import employee_salary_table
+from repro.dataset.relation import Relation
+from repro.dependencies.oc import CanonicalOC
+from repro.dependencies.ofd import OFD
+from repro.dependencies.violations import (
+    count_splits,
+    find_splits,
+    oc_holds,
+    ofd_holds,
+)
+from repro.validation.approx_ofd import aofd_removal_rows, validate_aofd
+from repro.validation.exact_oc import (
+    first_swap_in_classes,
+    oc_holds_in_classes,
+    validate_exact_oc,
+)
+from repro.validation.exact_ofd import ofd_holds_in_classes, validate_exact_ofd
+
+
+class TestExactOC:
+    def setup_method(self):
+        self.table = employee_salary_table()
+
+    def test_holding_oc(self):
+        assert validate_exact_oc(self.table, CanonicalOC([], "sal", "taxGrp")).is_valid
+
+    def test_violated_oc(self):
+        result = validate_exact_oc(self.table, CanonicalOC([], "sal", "tax"))
+        assert not result.is_valid
+        assert result.exceeded_threshold
+
+    def test_context_oc_example_2_12(self):
+        # Example 2.12: {pos}: sal ~ bonus holds.
+        assert validate_exact_oc(self.table, CanonicalOC({"pos"}, "sal", "bonus")).is_valid
+
+    def test_first_swap_witness(self):
+        encoded = self.table.encoded()
+        classes = [list(range(9))]
+        witness = first_swap_in_classes(
+            classes, encoded.ranks("sal"), encoded.ranks("tax")
+        )
+        assert witness is not None
+        s, t = witness
+        # Verify the witness really is a swap.
+        assert (encoded.ranks("sal")[s] < encoded.ranks("sal")[t]) and (
+            encoded.ranks("tax")[t] < encoded.ranks("tax")[s]
+        )
+
+    def test_first_swap_none_when_holds(self):
+        encoded = self.table.encoded()
+        classes = [list(range(9))]
+        assert first_swap_in_classes(
+            classes, encoded.ranks("sal"), encoded.ranks("taxGrp")
+        ) is None
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 2)),
+            max_size=12,
+        )
+    )
+    def test_matches_bruteforce_oracle(self, rows):
+        relation = Relation.from_rows(rows, ["a", "b", "c"])
+        for context in ([], ["c"]):
+            oc = CanonicalOC(context, "a", "b")
+            assert validate_exact_oc(relation, oc).is_valid == oc_holds(relation, oc)
+
+
+class TestExactOFD:
+    def setup_method(self):
+        self.table = employee_salary_table()
+
+    def test_example_2_12_ofd(self):
+        # {pos, sal}: [] |-> bonus holds.
+        assert validate_exact_ofd(self.table, OFD({"pos", "sal"}, "bonus")).is_valid
+
+    def test_motivating_violation(self):
+        # pos, exp does not determine sal (t6 vs t7).
+        assert not validate_exact_ofd(self.table, OFD({"pos", "exp"}, "sal")).is_valid
+
+    def test_empty_context_constant_check(self):
+        constant_table = Relation.from_columns({"a": [1, 1, 1], "b": [1, 2, 3]})
+        assert validate_exact_ofd(constant_table, OFD([], "a")).is_valid
+        assert not validate_exact_ofd(constant_table, OFD([], "b")).is_valid
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=12
+        )
+    )
+    def test_matches_bruteforce_oracle(self, rows):
+        relation = Relation.from_rows(rows, ["a", "b"])
+        ofd = OFD(["a"], "b")
+        assert validate_exact_ofd(relation, ofd).is_valid == ofd_holds(relation, ofd)
+
+
+class TestApproximateOFD:
+    def setup_method(self):
+        self.table = employee_salary_table()
+
+    def test_pos_exp_sal_needs_one_removal(self):
+        # Removing either t6 or t7 repairs pos,exp -> sal.
+        result = validate_aofd(self.table, OFD({"pos", "exp"}, "sal"))
+        assert result.removal_size == 1
+        assert abs(result.approximation_factor - 1 / 9) < 1e-9
+
+    def test_threshold(self):
+        ofd = OFD({"pos", "exp"}, "sal")
+        assert validate_aofd(self.table, ofd, threshold=0.2).is_valid
+        assert not validate_aofd(self.table, ofd, threshold=0.05).is_valid
+
+    def test_removal_repairs_the_ofd(self):
+        ofd = OFD({"pos", "exp"}, "sal")
+        result = validate_aofd(self.table, ofd)
+        repaired = self.table.drop_rows(result.removal_rows)
+        assert ofd_holds(repaired, ofd)
+
+    def test_exact_case_empty_removal(self):
+        result = validate_aofd(self.table, OFD({"pos", "sal"}, "bonus"))
+        assert result.holds_exactly
+
+    def test_early_exit_flag(self):
+        classes = [[0, 1, 2, 3]]
+        value_ranks = [0, 1, 2, 3]
+        removal, exceeded = aofd_removal_rows(classes, value_ranks, limit=1)
+        assert exceeded
+        assert len(removal) > 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=14
+        )
+    )
+    def test_g3_is_minimal_per_class(self, rows):
+        """The per-class majority rule gives the minimal removal count for an
+        FD: within each class at most one value may survive."""
+        relation = Relation.from_rows(rows, ["a", "b"])
+        ofd = OFD(["a"], "b")
+        result = validate_aofd(relation, ofd)
+        repaired = relation.drop_rows(result.removal_rows)
+        assert ofd_holds(repaired, ofd)
+        # Any strictly smaller set leaves a class with two distinct values,
+        # so count classes to bound the optimum from below.
+        groups = {}
+        for a, b in rows:
+            groups.setdefault(a, []).append(b)
+        optimum = sum(len(vs) - max(vs.count(x) for x in set(vs)) for vs in groups.values())
+        assert result.removal_size == optimum

@@ -1,0 +1,118 @@
+"""Tests for inversion counting and per-tuple swap counts."""
+
+from itertools import combinations
+
+from hypothesis import given, strategies as st
+
+from repro.validation.inversions import (
+    FenwickTree,
+    count_inversions,
+    per_position_swap_counts,
+    total_swap_pairs,
+)
+
+
+class TestFenwickTree:
+    def test_prefix_sums(self):
+        tree = FenwickTree(8)
+        tree.add(0)
+        tree.add(3)
+        tree.add(3)
+        tree.add(7)
+        assert tree.prefix_sum(-1) == 0
+        assert tree.prefix_sum(0) == 1
+        assert tree.prefix_sum(3) == 3
+        assert tree.prefix_sum(7) == 4
+        assert tree.total() == 4
+
+    @given(st.lists(st.integers(min_value=0, max_value=31), max_size=100))
+    def test_matches_naive_counter(self, values):
+        tree = FenwickTree(32)
+        naive = [0] * 32
+        for value in values:
+            tree.add(value)
+            naive[value] += 1
+        for bound in range(32):
+            assert tree.prefix_sum(bound) == sum(naive[: bound + 1])
+
+
+class TestCountInversions:
+    def test_sorted_has_none(self):
+        assert count_inversions([1, 2, 3, 4]) == 0
+
+    def test_reverse_sorted(self):
+        assert count_inversions([4, 3, 2, 1]) == 6
+
+    def test_duplicates_are_not_inversions(self):
+        assert count_inversions([2, 2, 2]) == 0
+
+    @given(st.lists(st.integers(min_value=-20, max_value=20), max_size=120))
+    def test_matches_bruteforce(self, values):
+        expected = sum(
+            1 for i, j in combinations(range(len(values)), 2) if values[i] > values[j]
+        )
+        assert count_inversions(values) == expected
+
+
+def _bruteforce_swap_counts(a_values, b_values):
+    counts = [0] * len(a_values)
+    for i, j in combinations(range(len(a_values)), 2):
+        if a_values[i] != a_values[j] and b_values[i] != b_values[j]:
+            if (a_values[i] < a_values[j]) != (b_values[i] < b_values[j]):
+                counts[i] += 1
+                counts[j] += 1
+    return counts
+
+
+class TestPerPositionSwapCounts:
+    def test_paper_example_3_1(self):
+        """On Table 1 sorted by sal, t7 has swaps with t1, t2, t4 and t6 —
+        more than any other tuple (Example 3.1)."""
+        tax = [2.0, 2.5, 0.3, 12.0, 1.5, 16.5, 1.8, 7.2, 16.0]
+        sal = list(range(9))  # distinct, already ascending
+        counts = per_position_swap_counts(sal, tax)
+        assert counts[6] == 4                  # t7
+        assert max(counts) == counts[6]
+        assert counts == [3, 3, 2, 3, 3, 3, 4, 2, 1]
+
+    def test_equal_a_values_never_swap(self):
+        counts = per_position_swap_counts([1, 1, 1], [3, 2, 1])
+        assert counts == [0, 0, 0]
+
+    def test_equal_b_values_never_swap(self):
+        counts = per_position_swap_counts([1, 2, 3], [5, 5, 5])
+        assert counts == [0, 0, 0]
+
+    def test_empty(self):
+        assert per_position_swap_counts([], []) == []
+
+    def test_length_mismatch_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            per_position_swap_counts([1], [1, 2])
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)), min_size=0, max_size=80
+        )
+    )
+    def test_matches_bruteforce(self, pairs):
+        pairs.sort()  # the kernel expects [A ASC, B ASC] order
+        a_values = [a for a, _ in pairs]
+        b_values = [b for _, b in pairs]
+        assert per_position_swap_counts(a_values, b_values) == _bruteforce_swap_counts(
+            a_values, b_values
+        )
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6)), min_size=0, max_size=60
+        )
+    )
+    def test_total_pairs_is_half_the_sum(self, pairs):
+        pairs.sort()
+        a_values = [a for a, _ in pairs]
+        b_values = [b for _, b in pairs]
+        counts = per_position_swap_counts(a_values, b_values)
+        assert total_swap_pairs(a_values, b_values) == sum(counts) // 2

@@ -1,0 +1,82 @@
+"""Tests for the LNDS/LIS kernels (Algorithm 2's computeLNDS)."""
+
+from hypothesis import given, strategies as st
+
+from repro.validation.lnds import (
+    is_non_decreasing_subsequence,
+    lis_indices,
+    lis_length,
+    lnds_complement,
+    lnds_indices,
+    lnds_length,
+    lnds_length_quadratic,
+)
+
+int_lists = st.lists(st.integers(min_value=-50, max_value=50), max_size=200)
+
+
+class TestLndsLength:
+    def test_paper_example_3_2(self):
+        # tax projection after sorting Table 1 by sal: LNDS has length 5.
+        values = [2.0, 2.5, 0.3, 12.0, 1.5, 16.5, 1.8, 7.2, 16.0]
+        assert lnds_length(values) == 5
+
+    def test_empty(self):
+        assert lnds_length([]) == 0
+        assert lnds_indices([]) == []
+
+    def test_sorted_input(self):
+        assert lnds_length([1, 2, 3, 4]) == 4
+
+    def test_reverse_sorted_input(self):
+        assert lnds_length([4, 3, 2, 1]) == 1
+
+    def test_duplicates_allowed_in_non_decreasing(self):
+        assert lnds_length([1, 1, 1]) == 3
+        assert lis_length([1, 1, 1]) == 1
+
+    @given(int_lists)
+    def test_matches_quadratic_oracle(self, values):
+        assert lnds_length(values) == lnds_length_quadratic(values)
+
+    @given(int_lists)
+    def test_lis_never_longer_than_lnds(self, values):
+        assert lis_length(values) <= lnds_length(values)
+
+
+class TestLndsIndices:
+    def test_paper_example_3_2_reconstruction(self):
+        values = [2.0, 2.5, 0.3, 12.0, 1.5, 16.5, 1.8, 7.2, 16.0]
+        indices = lnds_indices(values)
+        assert [values[i] for i in indices] == [0.3, 1.5, 1.8, 7.2, 16.0]
+
+    @given(int_lists)
+    def test_reconstruction_is_well_formed_and_optimal(self, values):
+        indices = lnds_indices(values)
+        assert is_non_decreasing_subsequence(values, indices)
+        assert len(indices) == lnds_length(values)
+
+    @given(int_lists)
+    def test_strict_reconstruction(self, values):
+        indices = lis_indices(values)
+        assert len(indices) == lis_length(values)
+        picked = [values[i] for i in indices]
+        assert all(x < y for x, y in zip(picked, picked[1:]))
+
+    @given(int_lists)
+    def test_complement_partitions_positions(self, values):
+        kept = set(lnds_indices(values))
+        removed = set(lnds_complement(values))
+        assert kept | removed == set(range(len(values)))
+        assert kept & removed == set()
+
+
+class TestWellFormedPredicate:
+    def test_rejects_decreasing_pick(self):
+        assert not is_non_decreasing_subsequence([3, 1], [0, 1])
+
+    def test_rejects_non_ascending_positions(self):
+        assert not is_non_decreasing_subsequence([1, 2, 3], [2, 1])
+
+    def test_accepts_empty(self):
+        assert is_non_decreasing_subsequence([5, 4], [])

@@ -1,0 +1,56 @@
+"""Tests for the shared ValidationResult type."""
+
+import pytest
+
+from repro.dependencies.oc import CanonicalOC
+from repro.validation.result import ValidationResult
+
+
+def _result(**kwargs):
+    defaults = dict(
+        dependency=CanonicalOC([], "a", "b"),
+        num_rows=10,
+        removal_rows=frozenset(),
+        threshold=None,
+        exceeded_threshold=False,
+    )
+    defaults.update(kwargs)
+    return ValidationResult(**defaults)
+
+
+class TestDerivedQuantities:
+    def test_approximation_factor(self):
+        assert _result(removal_rows=frozenset({1, 2})).approximation_factor == 0.2
+
+    def test_empty_relation_factor_is_zero(self):
+        assert _result(num_rows=0).approximation_factor == 0.0
+
+    def test_holds_exactly(self):
+        assert _result().holds_exactly
+        assert not _result(removal_rows=frozenset({1})).holds_exactly
+        assert not _result(exceeded_threshold=True).holds_exactly
+
+    def test_is_valid_without_threshold_means_exact(self):
+        assert _result().is_valid
+        assert not _result(removal_rows=frozenset({1})).is_valid
+
+    def test_is_valid_with_threshold(self):
+        assert _result(removal_rows=frozenset({1}), threshold=0.1).is_valid
+        assert not _result(removal_rows=frozenset({1, 2}), threshold=0.1).is_valid
+
+    def test_threshold_boundary_is_inclusive(self):
+        # factor == threshold counts as valid (e(phi) <= epsilon).
+        assert _result(removal_rows=frozenset({1}), threshold=0.1).is_valid
+
+    def test_exceeded_threshold_is_invalid(self):
+        assert not _result(exceeded_threshold=True, threshold=0.5).is_valid
+
+    def test_removal_size(self):
+        assert _result(removal_rows=frozenset({3, 4, 5})).removal_size == 3
+
+    def test_str_mentions_status(self):
+        assert "exact" in str(_result())
+        assert "INVALID" in str(_result(exceeded_threshold=True, threshold=0.1))
+        assert "approximate" in str(
+            _result(removal_rows=frozenset({1}), threshold=0.5)
+        )

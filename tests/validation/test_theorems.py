@@ -1,0 +1,117 @@
+"""Executable versions of the paper's theorems (Section 6 appendix).
+
+* Theorem 3.3 / 6.1 (minimality) is covered extensively by the
+  property-based tests in ``test_approx_oc_optimal.py``; here we add the
+  specific exchange-argument corner cases the proof leans on.
+* Theorem 3.4 / 6.2 (optimality) is proved by a linear-time reduction from
+  Fredman's LIS-DEC problem to AOC validation: given a list ``B`` of ``n``
+  distinct values and ``k = ⌊3·n^(1/2)⌋``, ``|LIS(B)| ≥ k`` iff the table
+  ``{(i, b_i)}`` satisfies the AOC ``A ~ B`` with threshold ``1 - k/n``.
+  We replay that reduction and check the equivalence on random instances —
+  the lower bound itself is mathematics, but the reduction being faithful
+  is what the tests can and do pin down.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset.relation import Relation
+from repro.dependencies.oc import CanonicalOC
+from repro.validation.approx_oc_optimal import validate_aoc_optimal
+from repro.validation.lnds import lis_length
+
+
+def _reduction_table(values):
+    """The Theorem 6.2 construction: one tuple (i, b_i) per list element."""
+    return Relation.from_columns(
+        {"A": list(range(len(values))), "B": list(values)}
+    )
+
+
+class TestLisDecReduction:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=-10_000, max_value=10_000),
+            min_size=1,
+            max_size=64,
+            unique=True,
+        )
+    )
+    def test_equivalence_for_k_of_the_theorem(self, values):
+        """|LIS(B)| >= floor(3*sqrt(n)) iff the AOC instance is valid with
+        threshold 1 - k/n (the exact statement reduced from in the proof)."""
+        n = len(values)
+        k = min(n, int(3 * math.isqrt(n)))
+        relation = _reduction_table(values)
+        oc = CanonicalOC([], "A", "B")
+        threshold = 1 - k / n
+        lis_holds = lis_length(values) >= k
+        aoc_valid = validate_aoc_optimal(relation, oc, threshold=threshold).is_valid
+        assert lis_holds == aoc_valid
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=1,
+            max_size=48,
+            unique=True,
+        ),
+        st.integers(min_value=1, max_value=48),
+    )
+    def test_equivalence_for_arbitrary_k(self, values, k):
+        """The reduction works for every k, not just the theorem's choice."""
+        n = len(values)
+        k = min(k, n)
+        relation = _reduction_table(values)
+        oc = CanonicalOC([], "A", "B")
+        threshold = 1 - k / n
+        lis_holds = lis_length(values) >= k
+        aoc_valid = validate_aoc_optimal(relation, oc, threshold=threshold).is_valid
+        assert lis_holds == aoc_valid
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=-1000, max_value=1000),
+            min_size=1,
+            max_size=48,
+            unique=True,
+        )
+    )
+    def test_removal_size_equals_n_minus_lis(self, values):
+        """With distinct A values (and distinct B values, as in LIS-DEC) the
+        minimal removal set has size exactly n - |LIS(B)|."""
+        relation = _reduction_table(values)
+        oc = CanonicalOC([], "A", "B")
+        result = validate_aoc_optimal(relation, oc)
+        assert result.removal_size == len(values) - lis_length(values)
+
+
+class TestMinimalityExchangeCornerCases:
+    """Corner cases exercised by the Theorem 6.1 proof argument."""
+
+    def test_equal_a_values_ordered_by_b_never_removed(self):
+        # Ties on A are ordered by B ascending, so they can all be kept.
+        relation = Relation.from_columns({"A": [1, 1, 1, 1], "B": [4, 2, 3, 1]})
+        result = validate_aoc_optimal(relation, CanonicalOC([], "A", "B"))
+        assert result.holds_exactly
+
+    def test_equal_b_values_never_swapped(self):
+        relation = Relation.from_columns({"A": [3, 1, 2, 4], "B": [7, 7, 7, 7]})
+        result = validate_aoc_optimal(relation, CanonicalOC([], "A", "B"))
+        assert result.holds_exactly
+
+    def test_strictly_reversed_lists_keep_exactly_one(self):
+        relation = Relation.from_columns({"A": [1, 2, 3, 4], "B": [4, 3, 2, 1]})
+        result = validate_aoc_optimal(relation, CanonicalOC([], "A", "B"))
+        assert result.removal_size == 3
+
+    def test_removal_set_avoids_tuples_outside_violations(self):
+        # Only the last tuple participates in swaps; the removal set must be
+        # exactly that tuple, not any of the clean prefix.
+        relation = Relation.from_columns({"A": [1, 2, 3, 4, 5], "B": [1, 2, 3, 4, 0]})
+        result = validate_aoc_optimal(relation, CanonicalOC([], "A", "B"))
+        assert result.removal_rows == frozenset({4})
