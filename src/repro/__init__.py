@@ -41,8 +41,15 @@ The package is organised as follows:
 ``repro.benchlib``
     The measurement harness used by the ``benchmarks/`` suites to
     regenerate every figure and table of the paper's evaluation section.
+
+``repro.backend``
+    Pluggable columnar compute backends for the hot paths (encoding,
+    partitions, LNDS validation kernels): a pure-Python reference and a
+    vectorised NumPy implementation with identical semantics, selected via
+    ``--backend`` / ``REPRO_BACKEND`` / :func:`repro.backend.resolve_backend`.
 """
 
+from repro.backend import available_backends, get_backend, resolve_backend
 from repro.dataset import Relation, Schema, Attribute, AttributeType
 from repro.dataset.examples import employee_salary_table
 from repro.dependencies import (
@@ -72,6 +79,9 @@ from repro.discovery import (
 __all__ = [
     "Attribute",
     "AttributeType",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
     "CanonicalOC",
     "CanonicalOD",
     "DiscoveryConfig",

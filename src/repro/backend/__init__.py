@@ -1,0 +1,113 @@
+"""Pluggable columnar compute backends (see :mod:`repro.backend.base`).
+
+Backend selection
+-----------------
+
+Every entry point that touches a hot path accepts a ``backend`` argument:
+a :class:`ComputeBackend` instance, a registry name (``"python"`` /
+``"numpy"``), ``"auto"`` or ``None``.  Resolution order:
+
+1. an explicit instance or name wins;
+2. ``None`` defers to the ``REPRO_BACKEND`` environment variable;
+3. unset (or ``"auto"``) picks NumPy when it is importable, else Python.
+
+NumPy is an *optional* dependency: the package imports and runs fully
+without it, and requesting ``"numpy"`` on a machine without NumPy raises a
+clear error instead of an import crash at startup.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Union
+
+from repro.backend.base import ComputeBackend
+
+#: Values accepted by ``DiscoveryConfig.backend`` and the CLI ``--backend``.
+BACKEND_CHOICES = ("auto", "python", "numpy")
+
+#: Environment variable consulted when no backend is requested explicitly.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+_instances: Dict[str, ComputeBackend] = {}
+
+BackendSpec = Union[None, str, ComputeBackend]
+
+
+def _numpy_importable() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def available_backends() -> List[str]:
+    """Names of the backends usable in this environment."""
+    names = ["python"]
+    if _numpy_importable():
+        names.append("numpy")
+    return names
+
+
+def default_backend_name() -> str:
+    """The backend name used when nothing is requested explicitly.
+
+    Honours ``REPRO_BACKEND``; otherwise ``auto`` semantics (NumPy when
+    available, Python otherwise).
+    """
+    requested = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if requested and requested != "auto":
+        return requested
+    return "numpy" if _numpy_importable() else "python"
+
+
+def get_backend(name: str) -> ComputeBackend:
+    """Return the (singleton) backend registered under ``name``."""
+    name = name.strip().lower()
+    if name == "auto":
+        name = "numpy" if _numpy_importable() else "python"
+    cached = _instances.get(name)
+    if cached is not None:
+        return cached
+    if name == "python":
+        from repro.backend.python_backend import PythonBackend
+
+        backend: ComputeBackend = PythonBackend()
+    elif name == "numpy":
+        if not _numpy_importable():
+            raise RuntimeError(
+                "the 'numpy' compute backend was requested but numpy is not "
+                "installed; install the optional dependency (pip install "
+                "'.[numpy]') or select --backend python"
+            )
+        from repro.backend.numpy_backend import NumpyBackend
+
+        backend = NumpyBackend()
+    else:
+        raise ValueError(
+            f"unknown compute backend {name!r}; expected one of {BACKEND_CHOICES}"
+        )
+    _instances[name] = backend
+    return backend
+
+
+def resolve_backend(spec: BackendSpec = None) -> ComputeBackend:
+    """Resolve a backend spec (instance, name, ``"auto"`` or ``None``)."""
+    if isinstance(spec, ComputeBackend):
+        return spec
+    if spec is None:
+        return get_backend(default_backend_name())
+    return get_backend(spec)
+
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "BACKEND_ENV_VAR",
+    "BackendSpec",
+    "ComputeBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "resolve_backend",
+]

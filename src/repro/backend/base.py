@@ -1,0 +1,148 @@
+"""The :class:`ComputeBackend` interface.
+
+The discovery framework spends essentially all of its time in three hot
+paths: order-preserving dictionary encoding, stripped-partition
+construction/refinement (the TANE-style PLI machinery) and the per-class
+LNDS removal-set kernels.  Each of those admits two interchangeable
+implementations:
+
+* :class:`~repro.backend.python_backend.PythonBackend` wraps the original
+  pure-Python row-at-a-time code and serves as the reference semantics;
+* :class:`~repro.backend.numpy_backend.NumpyBackend` keeps rank columns as
+  dense ``int32`` arrays and replaces the per-row loops with vectorised
+  sorts, groupings and batched kernels.
+
+Both implementations must be observationally identical: the same
+:class:`~repro.dataset.partition.Partition` classes, the same removal rows
+in the same order, the same early-exit points under a removal budget.  The
+differential tests in ``tests/backend`` enforce this on full discovery
+runs, so downstream layers may pick a backend purely on speed.
+
+A backend also defines the *native* representation of a rank column (a
+plain ``list`` for Python, an ``int32`` ``ndarray`` for NumPy).  Kernels
+accept native columns; :meth:`ComputeBackend.to_native` converts on the
+boundary for callers that hold canonical lists.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dataset.partition import Partition
+from repro.dataset.schema import AttributeType
+
+#: ``(ranks, dictionary, native_column)`` as returned by ``encode_column``.
+#: ``ranks`` is the canonical plain-list representation used by
+#: backend-agnostic code; ``native_column`` is the backend's columnar form
+#: of the same data, or ``None`` when the canonical list *is* native.  A
+#: backend may return ``ranks=None`` together with a native column, in
+#: which case :class:`~repro.dataset.encoding.EncodedRelation` derives the
+#: canonical list lazily on first access.
+EncodedColumn = Tuple[Optional[List[int]], List[object], object]
+
+
+class ComputeBackend(abc.ABC):
+    """Columnar compute kernels behind the discovery framework's hot paths."""
+
+    #: Registry name (``"python"`` / ``"numpy"``).
+    name: str = "abstract"
+
+    # -- columns ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def encode_column(
+        self, values: Sequence[object], attr_type: AttributeType = AttributeType.STRING
+    ) -> EncodedColumn:
+        """Dictionary-encode one raw column into dense order-preserving ranks.
+
+        Must reproduce :func:`repro.dataset.encoding.encode_column` exactly,
+        including ``NULLS FIRST`` and the handling of dirty mixed-type data.
+        """
+
+    @abc.abstractmethod
+    def to_native(self, ranks: Sequence[int]):
+        """Convert a rank column to this backend's native representation."""
+
+    # -- partitions ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def partition_single(self, native_ranks, num_rows: int) -> Partition:
+        """Build the stripped partition of a single encoded column."""
+
+    @abc.abstractmethod
+    def partition_refine(self, partition: Partition, native_ranks) -> Partition:
+        """Refine ``Pi_X`` by an encoded column: ``Pi_{X ∪ {A}}``."""
+
+    @abc.abstractmethod
+    def partition_product(self, left: Partition, right: Partition) -> Partition:
+        """Compute ``Pi_{X ∪ Y}`` from two stripped partitions."""
+
+    # -- exact checks ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def oc_holds(self, classes: Sequence[Sequence[int]], a_ranks, b_ranks) -> bool:
+        """Exact OC check (no swap in any context class)."""
+
+    @abc.abstractmethod
+    def ofd_holds(self, classes: Sequence[Sequence[int]], value_ranks) -> bool:
+        """Exact OFD check (RHS constant within every context class)."""
+
+    # -- removal-set kernels ---------------------------------------------------
+
+    @abc.abstractmethod
+    def oc_optimal_removal_rows(
+        self,
+        classes: Sequence[Sequence[int]],
+        a_ranks,
+        b_ranks,
+        limit: Optional[int] = None,
+    ) -> Tuple[List[int], bool]:
+        """Algorithm 2's minimal AOC removal rows over all context classes."""
+
+    @abc.abstractmethod
+    def oc_optimal_removal_count(
+        self,
+        classes: Sequence[Sequence[int]],
+        a_ranks,
+        b_ranks,
+        limit: Optional[int] = None,
+    ) -> Tuple[int, bool]:
+        """Size of the minimal AOC removal set (count-only fast path)."""
+
+    @abc.abstractmethod
+    def oc_greedy_removal_rows(
+        self,
+        classes: Sequence[Sequence[int]],
+        a_ranks,
+        b_ranks,
+        limit: Optional[int] = None,
+    ) -> Tuple[List[int], bool]:
+        """Algorithm 1's greedy (non-minimal) AOC removal rows.
+
+        The greedy baseline is row-at-a-time on every backend; callers
+        should pass canonical rank lists (native arrays are accepted but
+        converted).
+        """
+
+    @abc.abstractmethod
+    def od_removal_rows(
+        self,
+        classes: Sequence[Sequence[int]],
+        a_ranks,
+        b_ranks,
+        limit: Optional[int] = None,
+    ) -> Tuple[List[int], bool]:
+        """Minimal removal rows for a canonical AOD ``X: A ↦→ B``."""
+
+    @abc.abstractmethod
+    def ofd_removal_rows(
+        self,
+        classes: Sequence[Sequence[int]],
+        value_ranks,
+        limit: Optional[int] = None,
+    ) -> Tuple[List[int], bool]:
+        """Minimal removal rows for an approximate OFD."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}()"

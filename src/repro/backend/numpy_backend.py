@@ -1,0 +1,393 @@
+"""The NumPy columnar backend.
+
+Rank columns are dense ``int32`` arrays; the hot loops become vectorised
+array operations:
+
+* encoding via ``np.unique(return_inverse=True)`` on clean homogeneous
+  columns (dirty mixed-type columns fall back to the reference encoder, so
+  the semantics — including first-appearance tie-breaks for values whose
+  sort keys collide — are preserved exactly);
+* partition construction/refinement via stable argsort / lexsort over rank
+  columns, splitting on group boundaries;
+* the LNDS removal-set kernels order *all* equivalence classes of a context
+  with one ``lexsort`` and then run the (inherently sequential) patience
+  step per class through the exact same :mod:`repro.validation.lnds`
+  routines the reference backend uses, so the chosen subsequence — and
+  therefore the removal rows — are identical by construction.
+
+Parity contract: every method returns the same values, in the same order,
+with the same early-exit points as :class:`PythonBackend`.  One documented
+exception: for float columns containing both ``-0.0`` and ``0.0`` the
+*representative* stored in the decode dictionary may differ (the ranks are
+still identical); such columns behave identically in all discovery and
+validation code, which only ever touches ranks.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.backend.base import ComputeBackend, EncodedColumn
+from repro.dataset.partition import Partition
+from repro.dataset.schema import AttributeType
+
+#: Largest magnitude at which ``float(int)`` is still injective; beyond it
+#: the reference encoder's float sort keys collide and break ties by first
+#: appearance, which a numeric sort cannot reproduce — so we fall back.
+_FLOAT_SAFE_INT = 1 << 53
+
+_NUMERIC_TYPES = (AttributeType.INTEGER, AttributeType.FLOAT)
+
+
+class NumpyBackend(ComputeBackend):
+    """Vectorised backend over ``int32`` rank arrays."""
+
+    name = "numpy"
+
+    # -- columns ---------------------------------------------------------------
+
+    def to_native(self, ranks: Sequence[int]):
+        if isinstance(ranks, np.ndarray):
+            return ranks
+        return np.asarray(ranks, dtype=np.int32)
+
+    def encode_column(
+        self, values: Sequence[object], attr_type: AttributeType = AttributeType.STRING
+    ) -> EncodedColumn:
+        encoded = self._encode_fast(values, attr_type)
+        if encoded is not None:
+            return encoded
+        from repro.dataset.encoding import encode_column
+
+        ranks, dictionary = encode_column(values, attr_type)
+        return ranks, dictionary, np.asarray(ranks, dtype=np.int32)
+
+    def _encode_fast(self, values: Sequence[object], attr_type) -> Optional[EncodedColumn]:
+        """Vectorised encoding for homogeneous columns; ``None`` → fall back.
+
+        The reference encoder sorts by per-type sort keys with equality
+        dedup and first-appearance tie-breaks.  Those semantics reduce to a
+        plain value sort exactly when the column is homogeneously typed
+        (all ``int``, all ``float`` or all ``str`` — ``bool`` excluded
+        because ``True == 1`` merges across types) and the sort key is
+        injective on the values (no NaN, ints within float precision).
+        """
+        all_int = all_float = all_str = True
+        present: List[object] = []
+        for value in values:
+            if value is None:
+                continue
+            kind = type(value)
+            if kind is int:
+                all_float = all_str = False
+            elif kind is float:
+                all_int = all_str = False
+            elif kind is str:
+                all_int = all_float = False
+                if "\0" in value:
+                    # NumPy's fixed-width unicode dtype ignores trailing NUL
+                    # characters in comparisons, which would merge strings
+                    # the reference encoder keeps distinct.
+                    return None
+            else:
+                return None
+            if not (all_int or all_float or all_str):
+                return None
+            present.append(value)
+        if not present:
+            return None  # empty / all-None columns: let the reference handle it
+        if all_int and attr_type in _NUMERIC_TYPES:
+            try:
+                array = np.array(present, dtype=np.int64)
+            except OverflowError:
+                return None
+            if int(np.abs(array).max()) >= _FLOAT_SAFE_INT:
+                return None
+        elif all_float and attr_type in _NUMERIC_TYPES:
+            array = np.array(present, dtype=np.float64)
+            if np.isnan(array).any():
+                return None
+        elif all_str and attr_type not in _NUMERIC_TYPES:
+            array = np.array(present, dtype=np.str_)
+        else:
+            return None  # type/declared-type mismatch: reference coercion rules apply
+        uniques, inverse = np.unique(array, return_inverse=True)
+        inverse = inverse.astype(np.int32).reshape(-1)
+        if len(present) == len(values):
+            native = inverse
+            dictionary = uniques.tolist()
+        else:
+            mask = np.fromiter(
+                (v is not None for v in values), dtype=bool, count=len(values)
+            )
+            native = np.zeros(len(values), dtype=np.int32)
+            native[mask] = inverse + 1
+            dictionary = [None] + uniques.tolist()
+        # ranks=None: the canonical list is derived lazily from `native` by
+        # EncodedRelation on first access, so hot paths that only touch the
+        # columnar form never pay for a Python list.
+        return None, dictionary, native
+
+    # -- partitions ------------------------------------------------------------
+
+    def partition_single(self, native_ranks, num_rows: int) -> Partition:
+        ranks = self.to_native(native_ranks)
+        if ranks.size == 0:
+            return Partition([], num_rows)
+        order = np.argsort(ranks, kind="stable")
+        return Partition(
+            self._split_segments(order, (ranks[order].astype(np.int64),)), num_rows
+        )
+
+    def partition_refine(self, partition: Partition, native_ranks) -> Partition:
+        ranks = self.to_native(native_ranks)
+        if not partition.classes:
+            return Partition([], partition.num_rows)
+        rows, class_ids, _ = self._columnar_classes(partition)
+        values = ranks[rows].astype(np.int64)
+        order = np.lexsort((values, class_ids))
+        rows_sorted = rows[order]
+        return Partition(
+            self._split_segments(rows_sorted, (class_ids[order], values[order])),
+            partition.num_rows,
+        )
+
+    def partition_product(self, left: Partition, right: Partition) -> Partition:
+        if left.num_rows != right.num_rows:
+            raise ValueError("partitions are over relations of different sizes")
+        if not left.classes or not right.classes:
+            return Partition([], left.num_rows)
+        class_of = np.full(left.num_rows, -1, dtype=np.int64)
+        right_rows, right_ids, _ = self._columnar_classes(right)
+        class_of[right_rows] = right_ids
+        rows, class_ids, _ = self._columnar_classes(left)
+        other = class_of[rows]
+        grouped = other >= 0  # singletons of `right` stay singletons in the product
+        rows, class_ids, other = rows[grouped], class_ids[grouped], other[grouped]
+        if rows.size == 0:
+            return Partition([], left.num_rows)
+        order = np.lexsort((other, class_ids))
+        return Partition(
+            self._split_segments(rows[order], (class_ids[order], other[order])),
+            left.num_rows,
+        )
+
+    @staticmethod
+    def _columnar_classes(classes) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten class row-lists into ``(rows, class_ids, lengths)`` arrays.
+
+        When ``classes`` is a :class:`Partition` the result is cached on the
+        partition object: candidates share contexts heavily during the
+        level-wise search, so the concatenation cost is paid once per
+        context instead of once per candidate.
+        """
+        if isinstance(classes, Partition):
+            cached = classes._columnar
+            if cached is not None:
+                return cached
+            class_lists = classes.classes
+        else:
+            class_lists = list(classes)
+        lengths = np.fromiter(
+            (len(c) for c in class_lists), dtype=np.int64, count=len(class_lists)
+        )
+        total = int(lengths.sum())
+        rows = np.fromiter(chain.from_iterable(class_lists), dtype=np.int64, count=total)
+        class_ids = np.repeat(np.arange(len(class_lists), dtype=np.int64), lengths)
+        columnar = (rows, class_ids, lengths)
+        if isinstance(classes, Partition):
+            classes._columnar = columnar
+        return columnar
+
+    @staticmethod
+    def _split_segments(sorted_rows: np.ndarray, key_arrays) -> List[List[int]]:
+        """Split ``sorted_rows`` at key changes; keep segments of size ≥ 2."""
+        n = sorted_rows.size
+        change = np.zeros(n - 1, dtype=bool)
+        for key in key_arrays:
+            change |= np.diff(key) != 0
+        boundaries = np.concatenate(([0], np.nonzero(change)[0] + 1, [n]))
+        classes: List[List[int]] = []
+        for i in range(boundaries.size - 1):
+            start, end = int(boundaries[i]), int(boundaries[i + 1])
+            if end - start >= 2:
+                classes.append(sorted_rows[start:end].tolist())
+        return classes
+
+    # -- shared kernel plumbing ------------------------------------------------
+
+    def _sorted_class_segments(self, classes, a_ranks, b_ranks, descending_b: bool):
+        """One ``lexsort`` over all classes → per-class ``(rows, b_values)``.
+
+        Classes come back in input order, each ordered by ``[A ASC, B ASC]``
+        (or ``B DESC`` ties when ``descending_b``), with ties falling back
+        to ascending row order — matching the stable reference sorts.
+        """
+        a = self.to_native(a_ranks)
+        b = self.to_native(b_ranks)
+        rows, class_ids, lengths = self._columnar_classes(classes)
+        a_values = a[rows]
+        b_values = b[rows].astype(np.int64)
+        # Fold (class, A) into one int64 key: ranks are non-negative and
+        # bounded by the row count, so class_id * (max_a + 1) + a cannot
+        # overflow and sorts exactly like the (class, A) pair.
+        combined = class_ids * (int(a_values.max(initial=0)) + 1) + a_values
+        tie_break = -b_values if descending_b else b_values
+        order = np.lexsort((tie_break, combined))
+        rows_sorted = rows[order]
+        b_sorted = b_values[order]
+        offsets = np.concatenate(([0], np.cumsum(lengths))).tolist()
+        for i in range(lengths.size):
+            start, end = offsets[i], offsets[i + 1]
+            yield rows_sorted[start:end], b_sorted[start:end]
+
+    def _lnds_removal_rows(
+        self, classes, a_ranks, b_ranks, limit: Optional[int], descending_b: bool
+    ) -> Tuple[List[int], bool]:
+        from repro.validation.lnds import lnds_indices
+
+        if not len(classes):
+            return [], False
+        removal: List[int] = []
+        for seg_rows, seg_values in self._sorted_class_segments(
+            classes, a_ranks, b_ranks, descending_b
+        ):
+            # Clean classes (the common case during discovery) have a fully
+            # non-decreasing projection: the LNDS is the whole class and the
+            # removal contribution is empty — no need to run the patience DP.
+            if seg_values.size < 2 or bool(np.all(np.diff(seg_values) >= 0)):
+                continue
+            values = seg_values.tolist()
+            kept = set(lnds_indices(values))
+            removal.extend(
+                row
+                for position, row in enumerate(seg_rows.tolist())
+                if position not in kept
+            )
+            if limit is not None and len(removal) > limit:
+                return removal, True
+        return removal, False
+
+    # -- exact checks ----------------------------------------------------------
+
+    def oc_holds(self, classes, a_ranks, b_ranks) -> bool:
+        if not len(classes):
+            return True
+        a = self.to_native(a_ranks)
+        b = self.to_native(b_ranks)
+        rows, class_ids, lengths = self._columnar_classes(classes)
+        a_values = a[rows]
+        b_values = b[rows].astype(np.int64)
+        combined = class_ids * (int(a_values.max(initial=0)) + 1) + a_values
+        order = np.lexsort((b_values, combined))
+        b_sorted = b_values[order]
+        interior = self._interior_mask(lengths)
+        return bool(np.all(np.diff(b_sorted)[interior] >= 0))
+
+    def ofd_holds(self, classes, value_ranks) -> bool:
+        if not len(classes):
+            return True
+        ranks = self.to_native(value_ranks)
+        rows, _, lengths = self._columnar_classes(classes)
+        values = ranks[rows].astype(np.int64)
+        interior = self._interior_mask(lengths)
+        return bool(np.all(np.diff(values)[interior] == 0))
+
+    @staticmethod
+    def _interior_mask(lengths: np.ndarray) -> np.ndarray:
+        """Adjacent-pair mask that is ``False`` across class boundaries.
+
+        Classes are concatenated contiguously, so the pair at flat position
+        ``cumsum(lengths) - 1`` straddles two classes.
+        """
+        total = int(lengths.sum())
+        interior = np.ones(max(total - 1, 0), dtype=bool)
+        if lengths.size > 1:
+            interior[np.cumsum(lengths)[:-1] - 1] = False
+        return interior
+
+    # -- removal-set kernels ---------------------------------------------------
+
+    def oc_optimal_removal_rows(
+        self, classes, a_ranks, b_ranks, limit: Optional[int] = None
+    ) -> Tuple[List[int], bool]:
+        return self._lnds_removal_rows(classes, a_ranks, b_ranks, limit,
+                                       descending_b=False)
+
+    def oc_optimal_removal_count(
+        self, classes, a_ranks, b_ranks, limit: Optional[int] = None
+    ) -> Tuple[int, bool]:
+        from repro.validation.lnds import lnds_length
+
+        if not len(classes):
+            return 0, False
+        count = 0
+        for _, seg_values in self._sorted_class_segments(
+            classes, a_ranks, b_ranks, descending_b=False
+        ):
+            if seg_values.size < 2 or bool(np.all(np.diff(seg_values) >= 0)):
+                continue  # non-decreasing projection: nothing to remove
+            values = seg_values.tolist()
+            count += len(values) - lnds_length(values)
+            if limit is not None and count > limit:
+                return count, True
+        return count, False
+
+    def oc_greedy_removal_rows(
+        self, classes, a_ranks, b_ranks, limit: Optional[int] = None
+    ) -> Tuple[List[int], bool]:
+        # Algorithm 1 is the paper's quadratic baseline; its per-removal
+        # update loop is inherently sequential, so it runs through the
+        # reference implementation on materialised lists.
+        from repro.validation.approx_oc_iterative import iterative_removal_rows
+
+        return iterative_removal_rows(
+            classes, self._as_list(a_ranks), self._as_list(b_ranks), limit
+        )
+
+    def od_removal_rows(
+        self, classes, a_ranks, b_ranks, limit: Optional[int] = None
+    ) -> Tuple[List[int], bool]:
+        return self._lnds_removal_rows(classes, a_ranks, b_ranks, limit,
+                                       descending_b=True)
+
+    def ofd_removal_rows(
+        self, classes, value_ranks, limit: Optional[int] = None
+    ) -> Tuple[List[int], bool]:
+        if not len(classes):
+            return [], False
+        ranks = self.to_native(value_ranks)
+        rows, class_ids, lengths = self._columnar_classes(classes)
+        values = ranks[rows].astype(np.int64)
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        # Per-row frequency of (class, value), then per class keep the value
+        # with the highest frequency, ties broken by first occurrence within
+        # the class — exactly Counter.most_common(1)'s insertion-order rule.
+        keys = class_ids * (int(values.max()) + 1 if values.size else 1) + values
+        _, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
+        row_counts = counts[inverse.reshape(-1)]
+        class_max = np.maximum.reduceat(row_counts, starts)
+        positions = np.arange(rows.size, dtype=np.int64)
+        candidates = np.where(row_counts == np.repeat(class_max, lengths),
+                              positions, rows.size)
+        first_best = np.minimum.reduceat(candidates, starts)
+        keep_values = values[first_best]
+        removal_mask = values != np.repeat(keep_values, lengths)
+        removed_per_class = np.add.reduceat(removal_mask.astype(np.int64), starts)
+        cumulative = np.cumsum(removed_per_class)
+        if limit is not None and cumulative[-1] > int(limit):
+            crossing = int(np.argmax(cumulative > int(limit)))
+            cut = int(starts[crossing] + lengths[crossing])
+            return rows[:cut][removal_mask[:cut]].tolist(), True
+        return rows[removal_mask].tolist(), False
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _as_list(ranks) -> List[int]:
+        if isinstance(ranks, np.ndarray):
+            return ranks.tolist()
+        return ranks if isinstance(ranks, list) else list(ranks)

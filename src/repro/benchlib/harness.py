@@ -32,11 +32,14 @@ class DiscoveryMeasurement:
     timed_out: bool
     validation_share: float
     result: DiscoveryResult
+    #: Which compute backend produced this measurement (resolved name).
+    backend: str = "python"
 
     def as_row(self) -> Dict[str, object]:
         """Flatten to a dict for the reporting tables."""
         return {
             "label": self.label,
+            "backend": self.backend,
             "seconds": round(self.seconds, 4),
             "ocs": self.num_ocs,
             "ofds": self.num_ofds,
@@ -53,17 +56,21 @@ def measure_discovery(
     max_level: Optional[int] = None,
     time_limit_seconds: Optional[float] = None,
     label: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> DiscoveryMeasurement:
     """Run discovery in one of the paper's three modes and time it.
 
     ``mode`` is ``"od"`` (exact discovery, the "OD" series), ``"aod-optimal"``
-    or ``"aod-iterative"``.
+    or ``"aod-iterative"``.  ``backend`` selects the compute backend; the
+    resolved name is recorded on the measurement so reports can attribute
+    every number to the backend that produced it.
     """
     if mode == "od":
         config = DiscoveryConfig.exact(
             attributes=attributes,
             max_level=max_level,
             time_limit_seconds=time_limit_seconds,
+            backend=backend,
         )
     elif mode == "aod-optimal":
         config = DiscoveryConfig.approximate(
@@ -72,6 +79,7 @@ def measure_discovery(
             attributes=attributes,
             max_level=max_level,
             time_limit_seconds=time_limit_seconds,
+            backend=backend,
         )
     elif mode == "aod-iterative":
         config = DiscoveryConfig.approximate(
@@ -80,6 +88,7 @@ def measure_discovery(
             attributes=attributes,
             max_level=max_level,
             time_limit_seconds=time_limit_seconds,
+            backend=backend,
         )
     else:
         raise ValueError(
@@ -96,6 +105,7 @@ def measure_discovery(
         timed_out=result.timed_out,
         validation_share=result.stats.validation_share,
         result=result,
+        backend=result.stats.backend,
     )
 
 
@@ -106,6 +116,7 @@ def run_sweep(
     threshold: float = 0.1,
     time_limit_seconds: Optional[float] = None,
     max_level: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, List[DiscoveryMeasurement]]:
     """Run every mode over a parameter sweep.
 
@@ -125,6 +136,7 @@ def run_sweep(
                 time_limit_seconds=time_limit_seconds,
                 max_level=max_level,
                 label=f"{mode}@{value}",
+                backend=backend,
             )
             series[mode].append(measurement)
     return series
@@ -192,12 +204,13 @@ def compare_validators_on_candidates(
     relation: Relation,
     candidates: Iterable[CanonicalOC],
     threshold: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> ComparisonSummary:
     """Validate every candidate with both algorithms and compare removal sets."""
     summary = ComparisonSummary(threshold=threshold)
     for oc in candidates:
-        optimal = validate_aoc_optimal(relation, oc)
-        iterative = validate_aoc_iterative(relation, oc)
+        optimal = validate_aoc_optimal(relation, oc, backend=backend)
+        iterative = validate_aoc_iterative(relation, oc, backend=backend)
         summary.comparisons.append(
             CandidateComparison(
                 oc=oc,

@@ -17,6 +17,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.applications.outlier_detection import detect_outliers
+from repro.backend import BACKEND_CHOICES, BACKEND_ENV_VAR
 from repro.dataset.csv_io import read_csv
 from repro.dataset.examples import employee_salary_table
 from repro.discovery.api import discover_aods, discover_ods
@@ -44,6 +45,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--validator", choices=("optimal", "iterative"), default="optimal",
         help="AOC validation algorithm (default: optimal)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default=None,
+        help="compute backend for encoding/partitions/validation "
+             f"(default: ${BACKEND_ENV_VAR} if set, else auto)",
     )
     parser.add_argument(
         "--attributes", nargs="*", default=None,
@@ -86,25 +92,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("error: provide a CSV file or --demo", file=sys.stderr)
         return 2
 
-    if args.exact:
-        result = discover_ods(
-            relation,
-            attributes=args.attributes,
-            max_level=args.max_level,
-            time_limit_seconds=args.time_limit,
-        )
-    else:
-        result = discover_aods(
-            relation,
-            threshold=args.threshold,
-            validator=args.validator,
-            attributes=args.attributes,
-            max_level=args.max_level,
-            time_limit_seconds=args.time_limit,
-        )
+    try:
+        result = _run_discovery(relation, args)
+    except (RuntimeError, ValueError) as error:
+        # e.g. an unknown REPRO_BACKEND value, or --backend numpy without
+        # numpy installed: print the message instead of a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     print(result.summary())
     print()
+    _print_ranked(result, relation, args)
+    return 0
+
+
+def _run_discovery(relation, args):
+    if args.exact:
+        return discover_ods(
+            relation,
+            attributes=args.attributes,
+            max_level=args.max_level,
+            time_limit_seconds=args.time_limit,
+            backend=args.backend,
+        )
+    return discover_aods(
+        relation,
+        threshold=args.threshold,
+        validator=args.validator,
+        attributes=args.attributes,
+        max_level=args.max_level,
+        time_limit_seconds=args.time_limit,
+        backend=args.backend,
+    )
+
+
+def _print_ranked(result, relation, args) -> None:
     print(f"Top {args.top} order compatibilities:")
     for found in result.ranked_ocs(args.top):
         print(f"  {found}")
@@ -119,7 +141,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("Most suspicious tuples (row index, score):")
         for row, score in report.top(args.top):
             print(f"  row {row}: score={score:.3f}, values={relation.row(row)}")
-    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

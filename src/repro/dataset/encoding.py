@@ -68,12 +68,20 @@ def encode_column(
 class EncodedRelation:
     """A relation encoded to per-column dense integer ranks.
 
+    The canonical representation of a rank column is a plain list of ints,
+    identical across compute backends; the encoding backend additionally
+    caches its *native* columnar form (e.g. ``int32`` NumPy arrays) for the
+    vectorised kernels.
+
     Attributes
     ----------
     schema:
         The originating relation's schema.
     num_rows:
         Number of tuples.
+    backend:
+        The :class:`~repro.backend.base.ComputeBackend` that produced (and
+        serves the native columns of) this encoding.
     """
 
     def __init__(
@@ -82,34 +90,83 @@ class EncodedRelation:
         rank_columns: Sequence[Sequence[int]],
         dictionaries: Sequence[Sequence[object]],
         num_rows: int,
+        backend=None,
+        native_columns: Optional[Sequence[object]] = None,
     ) -> None:
+        from repro.backend import resolve_backend
+
         self.schema = schema
-        self._ranks: List[List[int]] = [list(col) for col in rank_columns]
+        self.backend = resolve_backend(backend)
+        # A column may be handed over as None when the backend supplied a
+        # native form instead; the canonical list is materialised on first
+        # `ranks()` access.
+        self._ranks: List[Optional[List[int]]] = [
+            None if col is None else list(col) for col in rank_columns
+        ]
         self._dictionaries: List[List[object]] = [list(d) for d in dictionaries]
         self.num_rows = num_rows
+        self._native: Dict[int, object] = {}
+        if native_columns is not None:
+            for index, native in enumerate(native_columns):
+                if native is not None:
+                    self._native[index] = native
+        for index, ranks in enumerate(self._ranks):
+            if ranks is None and index not in self._native:
+                raise ValueError(
+                    f"rank column {index} is None but no native column was given"
+                )
 
     @classmethod
-    def from_relation(cls, relation) -> "EncodedRelation":
-        """Encode every column of ``relation``."""
+    def from_relation(cls, relation, backend=None) -> "EncodedRelation":
+        """Encode every column of ``relation`` with the given backend."""
+        from repro.backend import resolve_backend
+
+        backend = resolve_backend(backend)
         rank_columns = []
         dictionaries = []
+        natives = []
         for attribute in relation.schema:
-            ranks, dictionary = encode_column(
+            ranks, dictionary, native = backend.encode_column(
                 relation.column(attribute.name), attribute.type
             )
             rank_columns.append(ranks)
             dictionaries.append(dictionary)
-        return cls(relation.schema, rank_columns, dictionaries, relation.num_rows)
+            natives.append(native)
+        return cls(
+            relation.schema,
+            rank_columns,
+            dictionaries,
+            relation.num_rows,
+            backend=backend,
+            native_columns=natives,
+        )
 
     # -- accessors -------------------------------------------------------------
 
     def ranks(self, attribute: str) -> List[int]:
         """Return the rank column for ``attribute``."""
-        return self._ranks[self.schema.index_of(attribute)]
+        return self.ranks_by_index(self.schema.index_of(attribute))
 
     def ranks_by_index(self, index: int) -> List[int]:
         """Return the rank column for the attribute at schema position ``index``."""
-        return self._ranks[index]
+        ranks = self._ranks[index]
+        if ranks is None:
+            native = self._native[index]
+            ranks = native.tolist() if hasattr(native, "tolist") else list(native)
+            self._ranks[index] = ranks
+        return ranks
+
+    def native_ranks(self, attribute: str):
+        """Return the backend-native rank column for ``attribute``."""
+        return self.native_ranks_by_index(self.schema.index_of(attribute))
+
+    def native_ranks_by_index(self, index: int):
+        """Return the backend-native rank column at schema position ``index``."""
+        native = self._native.get(index)
+        if native is None:
+            native = self.backend.to_native(self._ranks[index])
+            self._native[index] = native
+        return native
 
     def dictionary(self, attribute: str) -> List[object]:
         """Return the rank-to-value dictionary for ``attribute``."""

@@ -31,12 +31,17 @@ class Partition:
         stripped singleton classes).
     """
 
-    __slots__ = ("classes", "num_rows")
+    __slots__ = ("classes", "num_rows", "_columnar")
 
     def __init__(self, classes: Sequence[Sequence[int]], num_rows: int) -> None:
         self.classes: List[List[int]] = [sorted(c) for c in classes if len(c) >= 2]
         self.classes.sort(key=lambda c: c[0])
         self.num_rows = num_rows
+        # Backend-owned columnar view of `classes` (e.g. concatenated NumPy
+        # row/class-id arrays), built lazily by the first vectorised kernel
+        # that touches this partition and reused by all later candidates
+        # sharing the context.  Not part of equality/repr.
+        self._columnar = None
 
     # -- construction ----------------------------------------------------------
 
@@ -180,13 +185,29 @@ class PartitionCache:
     overlapping attribute sets; each partition is built once by refining a
     cached partition of a subset with one more single-attribute partition,
     as in the TANE / FASTOD implementations.
+
+    Construction and refinement go through a pluggable compute backend
+    (defaulting to the encoded relation's); every backend produces
+    identical :class:`Partition` objects, so cache contents are
+    backend-agnostic.
     """
 
-    def __init__(self, encoded_relation) -> None:
+    def __init__(self, encoded_relation, backend=None) -> None:
+        from repro.backend import resolve_backend
+
         self._encoded = encoded_relation
+        self._backend = resolve_backend(
+            backend if backend is not None
+            else getattr(encoded_relation, "backend", None)
+        )
         self._cache: Dict[FrozenSet[int], Partition] = {}
         self._hits = 0
         self._misses = 0
+
+    @property
+    def backend(self):
+        """The compute backend used to build partitions."""
+        return self._backend
 
     @property
     def num_rows(self) -> int:
@@ -223,7 +244,9 @@ class PartitionCache:
             return Partition.unit(self._encoded.num_rows)
         if len(key) == 1:
             (index,) = key
-            return Partition.single(self._encoded.ranks_by_index(index))
+            return self._backend.partition_single(
+                self._native_ranks(index), self._encoded.num_rows
+            )
         # Prefer extending the largest cached proper subset; fall back to
         # refining attribute by attribute.
         best_subset: Optional[FrozenSet[int]] = None
@@ -240,8 +263,16 @@ class PartitionCache:
             partition = self._cache[best_subset]
             remaining = sorted(key - best_subset)
         for index in remaining:
-            partition = partition.product(self._encoded.ranks_by_index(index))
+            partition = self._backend.partition_refine(
+                partition, self._native_ranks(index)
+            )
         return partition
+
+    def _native_ranks(self, index: int):
+        getter = getattr(self._encoded, "native_ranks_by_index", None)
+        if getter is not None:
+            return getter(index)
+        return self._backend.to_native(self._encoded.ranks_by_index(index))
 
     def evict_level(self, level: int) -> None:
         """Drop cached partitions of attribute sets smaller than ``level``.

@@ -43,7 +43,7 @@ class Relation:
             name: list(columns[name]) for name in schema.names
         }
         self._num_rows = lengths.pop() if lengths else 0
-        self._encoded = None  # lazily built EncodedRelation
+        self._encoded: Dict[str, object] = {}  # backend name -> EncodedRelation
 
     # -- construction ----------------------------------------------------------
 
@@ -226,16 +226,24 @@ class Relation:
 
     # -- encoding --------------------------------------------------------------
 
-    def encoded(self):
+    def encoded(self, backend=None):
         """Return (and cache) the order-preserving integer encoding.
 
-        See :class:`repro.dataset.encoding.EncodedRelation`.
+        ``backend`` selects the compute backend (an instance, a name such as
+        ``"numpy"``, or ``None`` for the environment default); encodings are
+        cached per backend.  See
+        :class:`repro.dataset.encoding.EncodedRelation`.
         """
-        if self._encoded is None:
+        from repro.backend import resolve_backend
+
+        resolved = resolve_backend(backend)
+        cached = self._encoded.get(resolved.name)
+        if cached is None:
             from repro.dataset.encoding import EncodedRelation
 
-            self._encoded = EncodedRelation.from_relation(self)
-        return self._encoded
+            cached = EncodedRelation.from_relation(self, resolved)
+            self._encoded[resolved.name] = cached
+        return cached
 
     # -- dunder / presentation -------------------------------------------------
 

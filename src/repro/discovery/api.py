@@ -16,6 +16,7 @@ def discover_ods(
     max_level: Optional[int] = None,
     time_limit_seconds: Optional[float] = None,
     find_ofds: bool = True,
+    backend: Optional[str] = None,
 ) -> DiscoveryResult:
     """Discover all minimal *exact* canonical ODs (OCs and OFDs).
 
@@ -35,6 +36,7 @@ def discover_ods(
         max_level=max_level,
         time_limit_seconds=time_limit_seconds,
         find_ofds=find_ofds,
+        backend=backend,
     )
     return DiscoveryEngine(relation, config).run()
 
@@ -47,6 +49,7 @@ def discover_aods(
     max_level: Optional[int] = None,
     time_limit_seconds: Optional[float] = None,
     find_ofds: bool = True,
+    backend: Optional[str] = None,
 ) -> DiscoveryResult:
     """Discover all minimal *approximate* canonical ODs w.r.t. ``threshold``.
 
@@ -77,6 +80,7 @@ def discover_aods(
         max_level=max_level,
         time_limit_seconds=time_limit_seconds,
         find_ofds=find_ofds,
+        backend=backend,
     )
     return DiscoveryEngine(relation, config).run()
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.backend import BACKEND_CHOICES, ComputeBackend
+
 
 #: The validator names accepted by :class:`DiscoveryConfig.validator`.
 VALIDATOR_KINDS = ("exact", "optimal", "iterative")
@@ -52,6 +54,12 @@ class DiscoveryConfig:
     progress_callback:
         Optional callable invoked as ``callback(level, nodes)`` at the start
         of every lattice level (used by the CLI for progress output).
+    backend:
+        Compute backend for the hot paths (encoding, partitions, validation
+        kernels): a :class:`~repro.backend.base.ComputeBackend` instance, a
+        name (``"python"`` / ``"numpy"`` / ``"auto"``), or ``None`` to defer
+        to the ``REPRO_BACKEND`` environment variable / auto-detection.
+        Every backend produces identical discovery results.
     """
 
     threshold: float = 0.0
@@ -63,6 +71,7 @@ class DiscoveryConfig:
     aggressive_ofd_pruning: bool = True
     prune_exhausted_nodes: bool = True
     progress_callback: Optional[object] = None
+    backend: Optional[object] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.threshold <= 1.0:
@@ -73,6 +82,12 @@ class DiscoveryConfig:
             raise ValueError(
                 f"validator must be one of {VALIDATOR_KINDS}, got {self.validator!r}"
             )
+        if self.backend is not None and not isinstance(self.backend, ComputeBackend):
+            if not isinstance(self.backend, str) or self.backend not in BACKEND_CHOICES:
+                raise ValueError(
+                    f"backend must be one of {BACKEND_CHOICES} or a "
+                    f"ComputeBackend instance, got {self.backend!r}"
+                )
         if self.validator == "exact" and self.threshold > 0:
             raise ValueError(
                 "the exact validator cannot be used with a non-zero threshold"

@@ -152,7 +152,7 @@ class DiscoveryResult:
             f"approximate (ε={self.config.threshold:.0%}, {self.config.validator})"
         )
         lines = [
-            f"Discovery mode: {mode}",
+            f"Discovery mode: {mode} [{self.stats.backend} backend]",
             f"Relation: {self.num_rows} rows, {len(self.attributes)} attributes",
             f"Discovered: {self.num_ocs} OCs, {self.num_ofds} OFDs "
             f"in {self.stats.total_seconds:.3f}s"

@@ -33,6 +33,8 @@ class DiscoveryStatistics:
     levels_processed: int = 0
     nodes_per_level: Dict[int, int] = field(default_factory=dict)
     timed_out: bool = False
+    #: Name of the compute backend that executed the run's hot paths.
+    backend: str = "python"
 
     # -- derived ---------------------------------------------------------------
 
@@ -65,6 +67,7 @@ class DiscoveryStatistics:
             "nodes_pruned": self.nodes_pruned,
             "levels_processed": self.levels_processed,
             "timed_out": self.timed_out,
+            "backend": self.backend,
         }
 
 

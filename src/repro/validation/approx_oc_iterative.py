@@ -29,7 +29,7 @@ from repro.dataset.partition import PartitionCache
 from repro.dataset.relation import Relation
 from repro.dataset.sorting import projection, sort_class_asc_asc
 from repro.dependencies.oc import CanonicalOC
-from repro.validation.common import context_classes, removal_limit
+from repro.validation.common import context_classes, removal_limit, validation_backend
 from repro.validation.inversions import per_position_swap_counts
 from repro.validation.result import ValidationResult
 
@@ -108,6 +108,7 @@ def validate_aoc_iterative(
     oc: CanonicalOC,
     threshold: Optional[float] = None,
     partition_cache: Optional[PartitionCache] = None,
+    backend=None,
 ) -> ValidationResult:
     """Validate an approximate OC with the iterative greedy baseline.
 
@@ -124,12 +125,17 @@ def validate_aoc_iterative(
     >>> result.removal_size  # the optimal validator removes only 4
     5
     """
-    encoded = relation.encoded()
+    backend = validation_backend(backend, partition_cache)
+    encoded = relation.encoded(backend)
+    # Algorithm 1 is row-at-a-time on every backend: hand it the canonical
+    # (cached) rank lists rather than converting native arrays per call.
     a_ranks = encoded.ranks(oc.a)
     b_ranks = encoded.ranks(oc.b)
-    classes = context_classes(relation, oc.context, partition_cache)
+    classes = context_classes(relation, oc.context, partition_cache, backend)
     limit = removal_limit(relation.num_rows, threshold)
-    removal, exceeded = iterative_removal_rows(classes, a_ranks, b_ranks, limit)
+    removal, exceeded = backend.oc_greedy_removal_rows(
+        classes, a_ranks, b_ranks, limit
+    )
     return ValidationResult(
         dependency=oc,
         num_rows=relation.num_rows,

@@ -29,7 +29,7 @@ from repro.dataset.partition import PartitionCache
 from repro.dataset.relation import Relation
 from repro.dataset.sorting import projection, sort_class_asc_asc
 from repro.dependencies.oc import CanonicalOC
-from repro.validation.common import context_classes, removal_limit
+from repro.validation.common import context_classes, removal_limit, validation_backend
 from repro.validation.lnds import lnds_indices, lnds_length
 from repro.validation.result import ValidationResult
 
@@ -108,6 +108,7 @@ def validate_aoc_optimal(
     oc: CanonicalOC,
     threshold: Optional[float] = None,
     partition_cache: Optional[PartitionCache] = None,
+    backend=None,
 ) -> ValidationResult:
     """Validate an approximate OC with Algorithm 2 (optimal, minimal).
 
@@ -124,6 +125,9 @@ def validate_aoc_optimal(
         minimal removal set are always computed.
     partition_cache:
         Optional partition cache shared across candidates.
+    backend:
+        Compute backend (instance, name or ``None`` for the default); all
+        backends return identical results.
 
     Examples
     --------
@@ -134,12 +138,15 @@ def validate_aoc_optimal(
     >>> result.removal_size, round(result.approximation_factor, 2)
     (4, 0.44)
     """
-    encoded = relation.encoded()
-    a_ranks = encoded.ranks(oc.a)
-    b_ranks = encoded.ranks(oc.b)
-    classes = context_classes(relation, oc.context, partition_cache)
+    backend = validation_backend(backend, partition_cache)
+    encoded = relation.encoded(backend)
+    a_ranks = encoded.native_ranks(oc.a)
+    b_ranks = encoded.native_ranks(oc.b)
+    classes = context_classes(relation, oc.context, partition_cache, backend)
     limit = removal_limit(relation.num_rows, threshold)
-    removal, exceeded = optimal_removal_rows(classes, a_ranks, b_ranks, limit)
+    removal, exceeded = backend.oc_optimal_removal_rows(
+        classes, a_ranks, b_ranks, limit
+    )
     return ValidationResult(
         dependency=oc,
         num_rows=relation.num_rows,

@@ -24,7 +24,7 @@ from repro.dataset.partition import PartitionCache
 from repro.dataset.relation import Relation
 from repro.dataset.sorting import projection, sort_class_asc_desc
 from repro.dependencies.od import CanonicalOD, ListOD
-from repro.validation.common import context_classes, removal_limit
+from repro.validation.common import context_classes, removal_limit, validation_backend
 from repro.validation.lnds import lnds_indices
 from repro.validation.result import ValidationResult
 
@@ -61,6 +61,7 @@ def validate_aod_optimal(
     od: CanonicalOD,
     threshold: Optional[float] = None,
     partition_cache: Optional[PartitionCache] = None,
+    backend=None,
 ) -> ValidationResult:
     """Validate a canonical approximate OD ``X: A ↦→ B`` with the LNDS method.
 
@@ -73,12 +74,13 @@ def validate_aod_optimal(
     >>> validate_aod_optimal(table, od).holds_exactly
     True
     """
-    encoded = relation.encoded()
-    a_ranks = encoded.ranks(od.a)
-    b_ranks = encoded.ranks(od.b)
-    classes = context_classes(relation, od.context, partition_cache)
+    backend = validation_backend(backend, partition_cache)
+    encoded = relation.encoded(backend)
+    a_ranks = encoded.native_ranks(od.a)
+    b_ranks = encoded.native_ranks(od.b)
+    classes = context_classes(relation, od.context, partition_cache, backend)
     limit = removal_limit(relation.num_rows, threshold)
-    removal, exceeded = od_removal_rows(classes, a_ranks, b_ranks, limit)
+    removal, exceeded = backend.od_removal_rows(classes, a_ranks, b_ranks, limit)
     return ValidationResult(
         dependency=od,
         num_rows=relation.num_rows,

@@ -17,7 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.dataset.partition import PartitionCache
 from repro.dataset.relation import Relation
 from repro.dependencies.ofd import OFD
-from repro.validation.common import context_classes, removal_limit
+from repro.validation.common import context_classes, removal_limit, validation_backend
 from repro.validation.result import ValidationResult
 
 
@@ -50,13 +50,15 @@ def validate_aofd(
     ofd: OFD,
     threshold: Optional[float] = None,
     partition_cache: Optional[PartitionCache] = None,
+    backend=None,
 ) -> ValidationResult:
     """Validate an approximate OFD; the removal set returned is minimal."""
-    encoded = relation.encoded()
-    value_ranks = encoded.ranks(ofd.attribute)
-    classes = context_classes(relation, ofd.context, partition_cache)
+    backend = validation_backend(backend, partition_cache)
+    encoded = relation.encoded(backend)
+    value_ranks = encoded.native_ranks(ofd.attribute)
+    classes = context_classes(relation, ofd.context, partition_cache, backend)
     limit = removal_limit(relation.num_rows, threshold)
-    removal, exceeded = aofd_removal_rows(classes, value_ranks, limit)
+    removal, exceeded = backend.ofd_removal_rows(classes, value_ranks, limit)
     return ValidationResult(
         dependency=ofd,
         num_rows=relation.num_rows,

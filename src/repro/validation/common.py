@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
+from repro.backend import BackendSpec, resolve_backend
 from repro.dataset.partition import Partition, PartitionCache
 from repro.dataset.relation import Relation
 
@@ -19,22 +20,49 @@ def context_classes(
     relation: Relation,
     context: Iterable[str],
     partition_cache: Optional[PartitionCache] = None,
-) -> List[List[int]]:
+    backend: BackendSpec = None,
+) -> Sequence[Sequence[int]]:
     """Stripped equivalence classes of ``context`` over ``relation``.
 
     Singleton classes are omitted: a class with one tuple can contain
     neither swaps nor splits, so it never contributes to a removal set.
+    Partition construction goes through ``backend`` (or the cache's backend
+    when a :class:`PartitionCache` is supplied).
+
+    When a cache is supplied, its :class:`Partition` object is returned
+    as-is (it iterates over its classes): backends attach a columnar view
+    to the partition, so repeated validations over the same context reuse
+    one flattened array instead of rebuilding it per candidate.
     """
     context = list(context)
     if partition_cache is not None:
-        return list(partition_cache.get_by_names(context))
-    encoded = relation.encoded()
+        return partition_cache.get_by_names(context)
     if not context:
         return list(Partition.unit(relation.num_rows))
-    partition = Partition.single(encoded.ranks(context[0]))
+    resolved = resolve_backend(backend)
+    encoded = relation.encoded(resolved)
+    partition = resolved.partition_single(
+        encoded.native_ranks(context[0]), relation.num_rows
+    )
     for attribute in context[1:]:
-        partition = partition.product(encoded.ranks(attribute))
+        partition = resolved.partition_refine(
+            partition, encoded.native_ranks(attribute)
+        )
     return list(partition)
+
+
+def validation_backend(
+    backend: BackendSpec, partition_cache: Optional[PartitionCache]
+):
+    """Resolve the backend a validator should use.
+
+    An explicit ``backend`` wins; otherwise a supplied cache's backend is
+    reused (so discovery-driven validations stay on one backend); otherwise
+    the environment default applies.
+    """
+    if backend is None and partition_cache is not None:
+        return partition_cache.backend
+    return resolve_backend(backend)
 
 
 def removal_limit(num_rows: int, threshold: Optional[float]) -> Optional[int]:

@@ -16,7 +16,7 @@ from repro.dataset.partition import PartitionCache
 from repro.dataset.relation import Relation
 from repro.dataset.sorting import is_non_decreasing, projection, sort_class_asc_asc
 from repro.dependencies.oc import CanonicalOC
-from repro.validation.common import context_classes
+from repro.validation.common import context_classes, validation_backend
 from repro.validation.result import ValidationResult
 
 
@@ -61,6 +61,7 @@ def validate_exact_oc(
     relation: Relation,
     oc: CanonicalOC,
     partition_cache: Optional[PartitionCache] = None,
+    backend=None,
 ) -> ValidationResult:
     """Validate a canonical OC exactly (no tuple removals allowed).
 
@@ -68,11 +69,12 @@ def validate_exact_oc(
     OC holds; otherwise ``exceeded_threshold`` is set with a zero threshold,
     mirroring the exact-discovery special case ``ε = 0``.
     """
-    encoded = relation.encoded()
-    a_ranks = encoded.ranks(oc.a)
-    b_ranks = encoded.ranks(oc.b)
-    classes = context_classes(relation, oc.context, partition_cache)
-    holds = oc_holds_in_classes(classes, a_ranks, b_ranks)
+    backend = validation_backend(backend, partition_cache)
+    encoded = relation.encoded(backend)
+    a_ranks = encoded.native_ranks(oc.a)
+    b_ranks = encoded.native_ranks(oc.b)
+    classes = context_classes(relation, oc.context, partition_cache, backend)
+    holds = backend.oc_holds(classes, a_ranks, b_ranks)
     return ValidationResult(
         dependency=oc,
         num_rows=relation.num_rows,

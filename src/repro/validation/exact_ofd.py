@@ -13,7 +13,7 @@ from typing import Optional, Sequence
 from repro.dataset.partition import PartitionCache
 from repro.dataset.relation import Relation
 from repro.dependencies.ofd import OFD
-from repro.validation.common import context_classes
+from repro.validation.common import context_classes, validation_backend
 from repro.validation.result import ValidationResult
 
 
@@ -33,12 +33,14 @@ def validate_exact_ofd(
     relation: Relation,
     ofd: OFD,
     partition_cache: Optional[PartitionCache] = None,
+    backend=None,
 ) -> ValidationResult:
     """Validate an OFD exactly (the attribute must be constant per class)."""
-    encoded = relation.encoded()
-    value_ranks = encoded.ranks(ofd.attribute)
-    classes = context_classes(relation, ofd.context, partition_cache)
-    holds = ofd_holds_in_classes(classes, value_ranks)
+    backend = validation_backend(backend, partition_cache)
+    encoded = relation.encoded(backend)
+    value_ranks = encoded.native_ranks(ofd.attribute)
+    classes = context_classes(relation, ofd.context, partition_cache, backend)
+    holds = backend.ofd_holds(classes, value_ranks)
     return ValidationResult(
         dependency=ofd,
         num_rows=relation.num_rows,

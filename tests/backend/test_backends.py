@@ -1,0 +1,233 @@
+"""Unit tests for the compute-backend registry and kernel parity.
+
+The NumPy backend must be observationally identical to the pure-Python
+reference on every kernel: encoding (including dirty mixed-type columns),
+partition construction/refinement/products, exact checks and all
+removal-set kernels, including early-exit behaviour under a removal
+budget.  These tests compare the two implementations directly on
+randomised inputs; ``test_differential.py`` does the same at the level of
+whole discovery runs.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.backend import (
+    BACKEND_ENV_VAR,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    resolve_backend,
+)
+from repro.backend.python_backend import PythonBackend
+from repro.dataset.encoding import encode_column
+from repro.dataset.partition import Partition
+from repro.dataset.schema import AttributeType
+
+numpy = pytest.importorskip("numpy")
+
+python_backend = get_backend("python")
+numpy_backend = get_backend("numpy")
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        assert "python" in available_backends()
+        assert "numpy" in available_backends()
+
+    def test_get_backend_is_singleton(self):
+        assert get_backend("python") is get_backend("python")
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_auto_prefers_numpy(self):
+        assert get_backend("auto").name == "numpy"
+
+    def test_resolve_instance_passthrough(self):
+        backend = PythonBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_resolve_name(self):
+        assert resolve_backend("python").name == "python"
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            get_backend("cuda")
+
+    def test_env_var_controls_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert default_backend_name() == "python"
+        assert resolve_backend(None).name == "python"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert resolve_backend(None).name == "numpy"
+        monkeypatch.delenv(BACKEND_ENV_VAR)
+        assert default_backend_name() == "numpy"  # auto, numpy installed
+
+
+# -- encoding parity -----------------------------------------------------------
+
+mixed_values = st.lists(
+    st.one_of(
+        st.none(),
+        st.integers(min_value=-(10 ** 6), max_value=10 ** 6),
+        st.integers(min_value=-(2 ** 70), max_value=2 ** 70),
+        st.floats(allow_nan=True, allow_infinity=True),
+        st.text(max_size=8),
+        st.booleans(),
+    ),
+    max_size=60,
+)
+
+
+class TestEncodingParity:
+    @pytest.mark.parametrize("attr_type", list(AttributeType))
+    @given(values=mixed_values)
+    @settings(max_examples=60, deadline=None)
+    def test_ranks_match_reference(self, attr_type, values):
+        reference_ranks, reference_dict = encode_column(values, attr_type)
+        ranks, dictionary, native = numpy_backend.encode_column(values, attr_type)
+        assert native is not None
+        assert native.tolist() == reference_ranks
+        # ranks may be None on the fast path (derived lazily from native)
+        assert ranks is None or ranks == reference_ranks
+        assert len(dictionary) == len(reference_dict)
+
+    @pytest.mark.parametrize(
+        "values, attr_type",
+        [
+            ([3, 1, 2, 1, None, 3], AttributeType.INTEGER),
+            ([1.5, -2.25, 1.5, 0.0], AttributeType.FLOAT),
+            (["b", "a", "", "b"], AttributeType.STRING),
+            ([10, "9", 11], AttributeType.INTEGER),  # dirty: falls back
+            ([True, False, True], AttributeType.BOOLEAN),  # falls back
+            ([None, None], AttributeType.STRING),
+        ],
+    )
+    def test_dictionaries_match_reference(self, values, attr_type):
+        reference_ranks, reference_dict = encode_column(values, attr_type)
+        _, dictionary, native = numpy_backend.encode_column(values, attr_type)
+        assert native.tolist() == reference_ranks
+        assert dictionary == reference_dict
+
+    def test_nul_strings_fall_back_to_reference(self):
+        # NumPy's fixed-width unicode comparisons ignore trailing NULs, so
+        # these columns must take the reference path to stay byte-identical.
+        values = ["a", "a\0", "b", "a"]
+        reference_ranks, reference_dict = encode_column(values, AttributeType.STRING)
+        _, dictionary, native = numpy_backend.encode_column(
+            values, AttributeType.STRING
+        )
+        assert native.tolist() == reference_ranks
+        assert dictionary == reference_dict
+        assert len(set(reference_ranks)) == 3  # 'a' and 'a\0' stay distinct
+
+    def test_fast_path_produces_int32_native(self):
+        _, _, native = numpy_backend.encode_column(
+            list(range(100, 0, -1)), AttributeType.INTEGER
+        )
+        assert native.dtype == numpy.int32
+
+
+# -- partition parity ----------------------------------------------------------
+
+small_column = st.lists(st.integers(min_value=0, max_value=5), min_size=0, max_size=50)
+
+
+class TestPartitionParity:
+    @given(column=small_column)
+    @settings(max_examples=60, deadline=None)
+    def test_single(self, column):
+        expected = python_backend.partition_single(column, len(column))
+        actual = numpy_backend.partition_single(
+            numpy_backend.to_native(column), len(column)
+        )
+        assert actual == expected
+        assert actual.classes == expected.classes  # identical lists of ints
+
+    @given(base=small_column, refiner=small_column)
+    @settings(max_examples=60, deadline=None)
+    def test_refine(self, base, refiner):
+        size = min(len(base), len(refiner))
+        base, refiner = base[:size], refiner[:size]
+        partition = Partition.single(base)
+        expected = python_backend.partition_refine(partition, refiner)
+        actual = numpy_backend.partition_refine(
+            partition, numpy_backend.to_native(refiner)
+        )
+        assert actual == expected
+
+    @given(left=small_column, right=small_column)
+    @settings(max_examples=60, deadline=None)
+    def test_product(self, left, right):
+        size = min(len(left), len(right))
+        left, right = left[:size], right[:size]
+        expected = python_backend.partition_product(
+            Partition.single(left), Partition.single(right)
+        )
+        actual = numpy_backend.partition_product(
+            Partition.single(left), Partition.single(right)
+        )
+        assert actual == expected
+
+    def test_product_size_mismatch(self):
+        with pytest.raises(ValueError):
+            numpy_backend.partition_product(
+                Partition.single([0, 0]), Partition.single([0, 0, 0])
+            )
+
+
+# -- validation kernel parity --------------------------------------------------
+
+def _random_kernel_input(draw, max_rows=60, max_rank=6):
+    num_rows = draw(st.integers(min_value=0, max_value=max_rows))
+    ranks = st.lists(
+        st.integers(min_value=0, max_value=max_rank),
+        min_size=num_rows, max_size=num_rows,
+    )
+    a = draw(ranks)
+    b = draw(ranks)
+    context = draw(ranks)
+    classes = Partition.single(context).classes
+    return classes, a, b
+
+
+class TestKernelParity:
+    @given(data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_all_kernels_match(self, data):
+        classes, a, b = _random_kernel_input(data.draw)
+        native_a = numpy_backend.to_native(a)
+        native_b = numpy_backend.to_native(b)
+        limit = data.draw(st.one_of(st.none(), st.integers(min_value=0, max_value=8)))
+
+        assert numpy_backend.oc_holds(classes, native_a, native_b) == \
+            python_backend.oc_holds(classes, a, b)
+        assert numpy_backend.ofd_holds(classes, native_b) == \
+            python_backend.ofd_holds(classes, b)
+        assert numpy_backend.oc_optimal_removal_rows(classes, native_a, native_b, limit) == \
+            python_backend.oc_optimal_removal_rows(classes, a, b, limit)
+        assert numpy_backend.oc_optimal_removal_count(classes, native_a, native_b, limit) == \
+            python_backend.oc_optimal_removal_count(classes, a, b, limit)
+        assert numpy_backend.oc_greedy_removal_rows(classes, native_a, native_b, limit) == \
+            python_backend.oc_greedy_removal_rows(classes, a, b, limit)
+        assert numpy_backend.od_removal_rows(classes, native_a, native_b, limit) == \
+            python_backend.od_removal_rows(classes, a, b, limit)
+        assert numpy_backend.ofd_removal_rows(classes, native_b, limit) == \
+            python_backend.ofd_removal_rows(classes, b, limit)
+
+    def test_empty_classes(self):
+        assert numpy_backend.oc_optimal_removal_rows([], [], []) == ([], False)
+        assert numpy_backend.ofd_removal_rows([], []) == ([], False)
+        assert numpy_backend.oc_holds([], [], []) is True
+        assert numpy_backend.ofd_holds([], []) is True
+
+    def test_removal_rows_are_python_ints(self):
+        # frozenset members of ValidationResult must compare and hash like
+        # the reference's plain ints
+        classes = [[0, 1, 2, 3]]
+        a = numpy_backend.to_native([0, 0, 0, 0])
+        b = numpy_backend.to_native([3, 2, 1, 0])
+        removal, _ = numpy_backend.oc_optimal_removal_rows(classes, a, b)
+        assert all(type(row) is int for row in removal)
