@@ -144,5 +144,48 @@ class ComputeBackend(abc.ABC):
     ) -> Tuple[List[int], bool]:
         """Minimal removal rows for an approximate OFD."""
 
+    # -- batched removal kernels -------------------------------------------------
+    #
+    # The level-synchronous scheduler groups all surviving candidates of a
+    # lattice level by context and dispatches each group through one call, so
+    # the context's partition, columnar view and sort infrastructure are paid
+    # once per group instead of once per candidate.  The defaults below loop
+    # over the single-candidate kernels; backends override them with genuinely
+    # batched implementations.
+    #
+    # Parity contract for both batch kernels: entry ``i`` of the result aligns
+    # with input ``i``.  The ``exceeded`` flag must be *exact* (``True`` iff
+    # the candidate's full removal set is larger than ``limit``), and whenever
+    # ``exceeded`` is ``False`` the reported count/rows must be byte-identical
+    # to the corresponding single-candidate kernel.  When ``exceeded`` is
+    # ``True`` a batched implementation may abandon the candidate mid-kernel,
+    # so the partial count is only guaranteed to be *some* value above
+    # ``limit`` — the sequential kernels' class-by-class partial is not
+    # reproduced.  Discovery only consumes ``(valid, size-if-valid)``, which
+    # is identical either way.
+
+    def oc_optimal_removal_count_batch(
+        self,
+        classes: Sequence[Sequence[int]],
+        rank_pairs: Sequence[Tuple[object, object]],
+        limit: Optional[int] = None,
+    ) -> List[Tuple[int, bool]]:
+        """Minimal AOC removal counts for many ``(A, B)`` rank-column pairs
+        sharing one context (Algorithm 2, batched across candidates)."""
+        return [
+            self.oc_optimal_removal_count(classes, a_ranks, b_ranks, limit)
+            for a_ranks, b_ranks in rank_pairs
+        ]
+
+    def ofd_removal_batch(
+        self,
+        classes: Sequence[Sequence[int]],
+        rhs_ranks: Sequence[object],
+        limit: Optional[int] = None,
+    ) -> List[Tuple[List[int], bool]]:
+        """Minimal AOFD removal rows for many RHS rank columns sharing one
+        context (the TANE ``g3`` kernel, batched across candidates)."""
+        return [self.ofd_removal_rows(classes, ranks, limit) for ranks in rhs_ranks]
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{type(self).__name__}()"

@@ -354,6 +354,273 @@ class NumpyBackend(ComputeBackend):
         return self._lnds_removal_rows(classes, a_ranks, b_ranks, limit,
                                        descending_b=True)
 
+    # -- batched removal kernels ------------------------------------------------
+
+    #: Dirty segments longer than this bypass the padded patience DP: on one
+    #: huge class the vectorised per-element binary search cannot beat the
+    #: scalar C-level ``bisect`` loop, and the DP's step count is the longest
+    #: segment, so one skewed class would stall every other lane.
+    _DP_MAX_SEGMENT = 2048
+    #: Minimum lanes per padded-DP call; below this the setup cost dominates.
+    _DP_MIN_SEGMENTS = 32
+
+    def oc_optimal_removal_count_batch(
+        self, classes, rank_pairs, limit: Optional[int] = None
+    ) -> List[Tuple[int, bool]]:
+        """Batched Algorithm 2 counts: one shared context, many rank pairs.
+
+        Per pair, one ``lexsort`` orders every class and a single vectorised
+        pass finds the *dirty* classes (those whose ``B`` projection is not
+        already non-decreasing — during discovery the vast majority are
+        clean and contribute nothing).  The dirty segments of **all** pairs
+        are then pushed through the segmented multi-class LNDS kernel
+        together, so the patience step advances every class of every
+        candidate simultaneously instead of looping per class in Python.
+        """
+        num_pairs = len(rank_pairs)
+        if num_pairs == 0:
+            return []
+        if not len(classes):
+            return [(0, False)] * num_pairs
+        rows, class_ids, lengths = self._columnar_classes(classes)
+        if rows.size == 0:
+            return [(0, False)] * num_pairs
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        interior = self._interior_mask(lengths)
+        counts = np.zeros(num_pairs, dtype=np.int64)
+        exceeded = np.zeros(num_pairs, dtype=bool)
+        seg_chunks: List[np.ndarray] = []
+        len_chunks: List[np.ndarray] = []
+        owner_chunks: List[np.ndarray] = []
+        for pair_id, (a_ranks, b_ranks) in enumerate(rank_pairs):
+            a = self.to_native(a_ranks)
+            b = self.to_native(b_ranks)
+            a_values = a[rows].astype(np.int64)
+            b_values = b[rows].astype(np.int64)
+            a_base = int(a_values.max(initial=0)) + 1
+            b_base = int(b_values.max(initial=0)) + 1
+            if lengths.size * a_base * b_base < 1 << 62:
+                # Counts never need row identities, so fuse (class, A, B)
+                # into one int64 key and value-sort it — cheaper than a
+                # two-pass lexsort followed by a gather.
+                key = (class_ids * a_base + a_values) * b_base + b_values
+                key.sort()
+                b_sorted = key % b_base
+            else:  # pragma: no cover - needs ~2^62 distinct key combinations
+                combined = class_ids * a_base + a_values
+                order = np.lexsort((b_values, combined))
+                b_sorted = b_values[order]
+            # One pass over all classes: a class is dirty iff it has an
+            # in-class descent (boundary pairs are masked by `interior`).
+            viol = np.zeros(b_sorted.size, dtype=bool)
+            viol[:-1] = (np.diff(b_sorted) < 0) & interior
+            dirty = np.add.reduceat(viol, starts) > 0
+            if not dirty.any():
+                continue
+            seg_chunks.append(b_sorted[np.repeat(dirty, lengths)])
+            dirty_lengths = lengths[dirty]
+            len_chunks.append(dirty_lengths)
+            owner_chunks.append(np.full(dirty_lengths.size, pair_id, dtype=np.int64))
+        if seg_chunks:
+            self._segmented_lnds_counts(
+                np.concatenate(seg_chunks),
+                np.concatenate(len_chunks),
+                np.concatenate(owner_chunks),
+                counts,
+                exceeded,
+                limit,
+            )
+        return [(int(c), bool(e)) for c, e in zip(counts, exceeded)]
+
+    def _segmented_lnds_counts(
+        self,
+        seg_values: np.ndarray,
+        seg_lengths: np.ndarray,
+        seg_owners: np.ndarray,
+        counts: np.ndarray,
+        exceeded: np.ndarray,
+        limit: Optional[int],
+    ) -> None:
+        """Removal counts for many dirty segments, accumulated per owner.
+
+        ``seg_values`` concatenates the ``[A ASC, B ASC]``-sorted ``B``
+        projections of every dirty segment; ``seg_lengths`` / ``seg_owners``
+        describe them.  ``length - LNDS(length)`` is added into ``counts``
+        indexed by owner.  Once an owner provably exceeds ``limit`` its
+        ``exceeded`` flag is set, its count is pinned to ``limit + 1`` and
+        its remaining segments are abandoned (see the contract in base.py).
+
+        Segments are bucketed by length magnitude: short, numerous buckets
+        run through the padded multi-lane patience DP; long or lonely ones
+        fall back to the scalar ``bisect`` loop, which wins on big classes.
+        Ascending bucket order lets cheap segments trigger the early exit
+        before any expensive lane starts.
+        """
+        from repro.validation.lnds import lnds_length
+
+        offsets = np.concatenate(([0], np.cumsum(seg_lengths)))
+        # frexp's exponent is the bit length, i.e. the power-of-two bucket;
+        # within a bucket max/min length differ by at most 2x, so no lane
+        # idles through a long tail of steps sized by one skewed segment.
+        buckets = np.frexp(seg_lengths.astype(np.float64))[1]
+        for bucket in np.unique(buckets):
+            members = np.nonzero(buckets == bucket)[0]
+            members = members[~exceeded[seg_owners[members]]]
+            if members.size == 0:
+                continue
+            max_len = int(seg_lengths[members].max())
+            if members.size >= self._DP_MIN_SEGMENTS and max_len <= self._DP_MAX_SEGMENT:
+                self._padded_patience_counts(
+                    seg_values, offsets, members, seg_lengths, seg_owners,
+                    counts, exceeded, limit,
+                )
+            else:
+                for i in members:
+                    owner = seg_owners[i]
+                    if exceeded[owner]:
+                        continue
+                    values = seg_values[offsets[i]:offsets[i + 1]].tolist()
+                    counts[owner] += len(values) - lnds_length(values)
+                    if limit is not None and counts[owner] > limit:
+                        exceeded[owner] = True
+        if limit is not None:
+            exceeded |= counts > limit
+
+    def _padded_patience_counts(
+        self,
+        seg_values: np.ndarray,
+        offsets: np.ndarray,
+        members: np.ndarray,
+        seg_lengths: np.ndarray,
+        seg_owners: np.ndarray,
+        counts: np.ndarray,
+        exceeded: np.ndarray,
+        limit: Optional[int],
+    ) -> None:
+        """One patience pass advancing all member segments simultaneously.
+
+        Lane ``i`` holds one segment; at step ``t`` every active lane
+        inserts its ``t``-th value into its tails row via a vectorised
+        right-bisect, so the Python-level iteration count is the longest
+        segment length instead of the total element count.
+        """
+        lengths = seg_lengths[members].astype(np.int64)
+        owners = seg_owners[members]
+        num = members.size
+        max_len = int(lengths.max())
+        total = int(lengths.sum())
+        lane_idx = np.repeat(np.arange(num, dtype=np.int64), lengths)
+        first = np.cumsum(lengths) - lengths
+        col_idx = np.arange(total, dtype=np.int64) - np.repeat(first, lengths)
+        flat = np.repeat(offsets[members], lengths) + col_idx
+        padded = np.zeros((num, max_len), dtype=np.int64)
+        padded[lane_idx, col_idx] = seg_values[flat]
+        sentinel = np.iinfo(np.int64).max
+        tails = np.full((num, max_len), sentinel, dtype=np.int64)
+        tail_len = np.zeros(num, dtype=np.int64)
+        alive = np.ones(num, dtype=bool)
+        for t in range(max_len):
+            act = np.nonzero(alive & (lengths > t))[0]
+            if act.size == 0:
+                break
+            v = padded[act, t]
+            # Vectorised bisect_right over each lane's tails[0:tail_len):
+            # first position whose tail is strictly greater than v.
+            lo = np.zeros(act.size, dtype=np.int64)
+            hi = tail_len[act].copy()
+            while True:
+                open_ = lo < hi
+                if not open_.any():
+                    break
+                mid = (lo + hi) >> 1
+                right = open_ & (tails[act, np.minimum(mid, max_len - 1)] <= v)
+                lo = np.where(right, mid + 1, lo)
+                hi = np.where(open_ & ~right, mid, hi)
+            tails[act, lo] = v
+            tail_len[act] = np.maximum(tail_len[act], lo + 1)
+            if limit is not None:
+                # Lower bound on each lane's final removals: of the t+1
+                # values consumed, at most tail_len are on any LNDS.  Owners
+                # whose accumulated bound crosses the budget are certainly
+                # invalid — retire all their lanes now.
+                bound = np.minimum(lengths, t + 1) - tail_len
+                pending = np.bincount(
+                    owners[alive], weights=bound[alive], minlength=counts.size
+                ).astype(np.int64)
+                over = (counts + pending > limit) & ~exceeded
+                if over.any():
+                    exceeded |= over
+                    counts[over] = limit + 1
+                    alive &= ~exceeded[owners]
+        if alive.any():
+            removals = (lengths - tail_len)[alive]
+            counts += np.bincount(
+                owners[alive], weights=removals, minlength=counts.size
+            ).astype(np.int64)
+
+    def ofd_removal_batch(
+        self, classes, rhs_ranks, limit: Optional[int] = None
+    ) -> List[Tuple[List[int], bool]]:
+        """Batched ``g3`` kernel: one shared context, many RHS columns.
+
+        All RHS columns are stacked into one ``(num_rhs, total)`` value
+        matrix and the per-class most-frequent-value selection (with the
+        reference first-occurrence tie-break) runs over every column at
+        once; only the final per-column row extraction loops in Python.
+        """
+        num_rhs = len(rhs_ranks)
+        if num_rhs == 0:
+            return []
+        if not len(classes):
+            return [([], False)] * num_rhs
+        rows, class_ids, lengths = self._columnar_classes(classes)
+        if rows.size == 0:
+            return [([], False)] * num_rhs
+        total = rows.size
+        num_classes = lengths.size
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        stacked = np.stack([self.to_native(ranks) for ranks in rhs_ranks])
+        values = stacked[:, rows].astype(np.int64)
+        base = int(values.max()) + 1 if values.size else 1
+        # Distinct (rhs, class, value) triples get distinct keys, so one
+        # np.unique counts the frequencies of every column's class/value
+        # combinations in a single sort.
+        keys = (
+            class_ids + np.arange(num_rhs, dtype=np.int64)[:, None] * num_classes
+        ) * base + values
+        _, inverse, key_counts = np.unique(
+            keys.ravel(), return_inverse=True, return_counts=True
+        )
+        flat_counts = key_counts[inverse.reshape(-1)]
+        flat_starts = (
+            np.arange(num_rhs, dtype=np.int64)[:, None] * total + starts[None, :]
+        ).ravel()
+        lengths_tiled = np.tile(lengths, num_rhs)
+        class_max = np.maximum.reduceat(flat_counts, flat_starts)
+        positions = np.tile(np.arange(total, dtype=np.int64), num_rhs)
+        candidates = np.where(
+            flat_counts == np.repeat(class_max, lengths_tiled), positions, total
+        )
+        first_best = np.minimum.reduceat(candidates, flat_starts)
+        keep_values = values[
+            np.repeat(np.arange(num_rhs, dtype=np.int64), num_classes), first_best
+        ]
+        removal_mask = (
+            values.ravel() != np.repeat(keep_values, lengths_tiled)
+        ).reshape(num_rhs, total)
+        results: List[Tuple[List[int], bool]] = []
+        for r in range(num_rhs):
+            mask = removal_mask[r]
+            removed_per_class = np.add.reduceat(mask.astype(np.int64), starts)
+            cumulative = np.cumsum(removed_per_class)
+            if limit is not None and cumulative[-1] > int(limit):
+                crossing = int(np.argmax(cumulative > int(limit)))
+                cut = int(starts[crossing] + lengths[crossing])
+                results.append((rows[:cut][mask[:cut]].tolist(), True))
+            else:
+                results.append((rows[mask].tolist(), False))
+        return results
+
     def ofd_removal_rows(
         self, classes, value_ranks, limit: Optional[int] = None
     ) -> Tuple[List[int], bool]:

@@ -97,3 +97,24 @@ class PythonBackend(ComputeBackend):
         from repro.validation.approx_ofd import aofd_removal_rows
 
         return aofd_removal_rows(classes, value_ranks, limit)
+
+    # -- batched removal kernels ------------------------------------------------
+
+    def oc_optimal_removal_count_batch(
+        self, classes, rank_pairs, limit: Optional[int] = None
+    ) -> List[Tuple[int, bool]]:
+        # Reference semantics: the batch is exactly a loop of sequential
+        # kernels, so each entry carries the sequential early-exit partials.
+        from repro.validation.approx_oc_optimal import optimal_removal_count
+
+        return [
+            optimal_removal_count(classes, a_ranks, b_ranks, limit)
+            for a_ranks, b_ranks in rank_pairs
+        ]
+
+    def ofd_removal_batch(
+        self, classes, rhs_ranks, limit: Optional[int] = None
+    ) -> List[Tuple[List[int], bool]]:
+        from repro.validation.approx_ofd import aofd_removal_rows
+
+        return [aofd_removal_rows(classes, ranks, limit) for ranks in rhs_ranks]

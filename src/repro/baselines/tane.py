@@ -29,6 +29,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 from repro.dataset.partition import Partition, PartitionCache
 from repro.dataset.relation import Relation
 from repro.dependencies.fd import FD
+from repro.validation.common import removal_limit
 
 AttributeSet = FrozenSet[str]
 
@@ -92,7 +93,7 @@ def discover_fds_tane(
     encoded = relation.encoded()
     cache = PartitionCache(encoded)
     num_rows = relation.num_rows
-    limit = int(threshold * num_rows + 1e-9)
+    limit = removal_limit(num_rows, threshold)
     result = TaneResult(threshold=threshold)
     start = time.perf_counter()
 

@@ -34,12 +34,18 @@ class DiscoveryMeasurement:
     result: DiscoveryResult
     #: Which compute backend produced this measurement (resolved name).
     backend: str = "python"
+    #: Whether the level-synchronous batched scheduler was active.
+    batched: bool = True
+    #: Worker processes sharding batched OC validation (1 = in-process).
+    num_workers: int = 1
 
     def as_row(self) -> Dict[str, object]:
         """Flatten to a dict for the reporting tables."""
         return {
             "label": self.label,
             "backend": self.backend,
+            "batched": self.batched,
+            "workers": self.num_workers,
             "seconds": round(self.seconds, 4),
             "ocs": self.num_ocs,
             "ofds": self.num_ofds,
@@ -57,38 +63,34 @@ def measure_discovery(
     time_limit_seconds: Optional[float] = None,
     label: Optional[str] = None,
     backend: Optional[str] = None,
+    batch_validation: bool = True,
+    num_workers: int = 1,
 ) -> DiscoveryMeasurement:
     """Run discovery in one of the paper's three modes and time it.
 
     ``mode`` is ``"od"`` (exact discovery, the "OD" series), ``"aod-optimal"``
-    or ``"aod-iterative"``.  ``backend`` selects the compute backend; the
-    resolved name is recorded on the measurement so reports can attribute
-    every number to the backend that produced it.
+    or ``"aod-iterative"``.  ``backend`` selects the compute backend,
+    ``batch_validation`` / ``num_workers`` the scheduling mode; all three are
+    recorded on the measurement so reports can attribute every number to the
+    configuration that produced it.
     """
+    common = dict(
+        attributes=attributes,
+        max_level=max_level,
+        time_limit_seconds=time_limit_seconds,
+        backend=backend,
+        batch_validation=batch_validation,
+        num_workers=num_workers,
+    )
     if mode == "od":
-        config = DiscoveryConfig.exact(
-            attributes=attributes,
-            max_level=max_level,
-            time_limit_seconds=time_limit_seconds,
-            backend=backend,
-        )
+        config = DiscoveryConfig.exact(**common)
     elif mode == "aod-optimal":
         config = DiscoveryConfig.approximate(
-            threshold=threshold,
-            validator="optimal",
-            attributes=attributes,
-            max_level=max_level,
-            time_limit_seconds=time_limit_seconds,
-            backend=backend,
+            threshold=threshold, validator="optimal", **common
         )
     elif mode == "aod-iterative":
         config = DiscoveryConfig.approximate(
-            threshold=threshold,
-            validator="iterative",
-            attributes=attributes,
-            max_level=max_level,
-            time_limit_seconds=time_limit_seconds,
-            backend=backend,
+            threshold=threshold, validator="iterative", **common
         )
     else:
         raise ValueError(
@@ -106,6 +108,8 @@ def measure_discovery(
         validation_share=result.stats.validation_share,
         result=result,
         backend=result.stats.backend,
+        batched=result.stats.batched,
+        num_workers=result.stats.num_workers,
     )
 
 

@@ -52,6 +52,16 @@ def build_parser() -> argparse.ArgumentParser:
              f"(default: ${BACKEND_ENV_VAR} if set, else auto)",
     )
     parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard batched OC validation across N worker processes "
+             "(default 1: in-process)",
+    )
+    parser.add_argument(
+        "--no-batch", action="store_true",
+        help="disable the level-synchronous batched validation scheduler "
+             "(per-candidate reference path; identical results)",
+    )
+    parser.add_argument(
         "--attributes", nargs="*", default=None,
         help="restrict discovery to these attributes",
     )
@@ -114,6 +124,8 @@ def _run_discovery(relation, args):
             max_level=args.max_level,
             time_limit_seconds=args.time_limit,
             backend=args.backend,
+            batch_validation=not args.no_batch,
+            num_workers=args.workers,
         )
     return discover_aods(
         relation,
@@ -123,6 +135,8 @@ def _run_discovery(relation, args):
         max_level=args.max_level,
         time_limit_seconds=args.time_limit,
         backend=args.backend,
+        batch_validation=not args.no_batch,
+        num_workers=args.workers,
     )
 
 

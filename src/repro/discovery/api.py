@@ -17,6 +17,8 @@ def discover_ods(
     time_limit_seconds: Optional[float] = None,
     find_ofds: bool = True,
     backend: Optional[str] = None,
+    batch_validation: bool = True,
+    num_workers: int = 1,
 ) -> DiscoveryResult:
     """Discover all minimal *exact* canonical ODs (OCs and OFDs).
 
@@ -37,6 +39,8 @@ def discover_ods(
         time_limit_seconds=time_limit_seconds,
         find_ofds=find_ofds,
         backend=backend,
+        batch_validation=batch_validation,
+        num_workers=num_workers,
     )
     return DiscoveryEngine(relation, config).run()
 
@@ -50,6 +54,8 @@ def discover_aods(
     time_limit_seconds: Optional[float] = None,
     find_ofds: bool = True,
     backend: Optional[str] = None,
+    batch_validation: bool = True,
+    num_workers: int = 1,
 ) -> DiscoveryResult:
     """Discover all minimal *approximate* canonical ODs w.r.t. ``threshold``.
 
@@ -62,7 +68,8 @@ def discover_aods(
     validator:
         ``"optimal"`` for the paper's LNDS-based Algorithm 2 (default) or
         ``"iterative"`` for the greedy baseline it replaces.
-    attributes, max_level, time_limit_seconds, find_ofds:
+    attributes, max_level, time_limit_seconds, find_ofds, batch_validation, \
+num_workers:
         See :class:`repro.discovery.DiscoveryConfig`.
 
     Examples
@@ -81,6 +88,8 @@ def discover_aods(
         time_limit_seconds=time_limit_seconds,
         find_ofds=find_ofds,
         backend=backend,
+        batch_validation=batch_validation,
+        num_workers=num_workers,
     )
     return DiscoveryEngine(relation, config).run()
 

@@ -60,6 +60,20 @@ class DiscoveryConfig:
         name (``"python"`` / ``"numpy"`` / ``"auto"``), or ``None`` to defer
         to the ``REPRO_BACKEND`` environment variable / auto-detection.
         Every backend produces identical discovery results.
+    batch_validation:
+        Level-synchronous batched scheduling (the default): each level's
+        surviving candidates are grouped by context and validated through
+        the backend's batch kernels.  ``False`` restores the per-candidate
+        loop (the reference path, kept for A/B benchmarking).  Both
+        schedules produce identical discovery results.
+    num_workers:
+        Shard batched OC validation across this many worker processes
+        (equivalence classes of a context are independent, so workers merge
+        by summing removal counts).  ``1`` (the default) validates
+        in-process; values above 1 require ``batch_validation`` and only
+        take effect for the LNDS-based ``optimal`` validator on approximate
+        runs — exact and iterative validation never consults the pool.
+        Every worker count produces identical discovery results.
     """
 
     threshold: float = 0.0
@@ -72,6 +86,8 @@ class DiscoveryConfig:
     prune_exhausted_nodes: bool = True
     progress_callback: Optional[object] = None
     backend: Optional[object] = None
+    batch_validation: bool = True
+    num_workers: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.threshold <= 1.0:
@@ -94,6 +110,13 @@ class DiscoveryConfig:
             )
         if self.max_level is not None and self.max_level < 1:
             raise ValueError("max_level must be at least 1")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if self.num_workers > 1 and not self.batch_validation:
+            raise ValueError(
+                "num_workers > 1 requires batch_validation: the worker shards "
+                "are dispatched by the level-synchronous scheduler"
+            )
 
     @property
     def is_exact(self) -> bool:

@@ -35,6 +35,14 @@ class DiscoveryStatistics:
     timed_out: bool = False
     #: Name of the compute backend that executed the run's hot paths.
     backend: str = "python"
+    #: Whether the level-synchronous batched scheduler was active.
+    batched: bool = True
+    #: Worker processes sharding batched OC validation (1 = in-process).
+    num_workers: int = 1
+    #: Context groups dispatched through the batched OC kernel path.
+    oc_batches: int = 0
+    #: Context groups dispatched through the batched OFD kernel path.
+    ofd_batches: int = 0
 
     # -- derived ---------------------------------------------------------------
 
@@ -68,6 +76,10 @@ class DiscoveryStatistics:
             "levels_processed": self.levels_processed,
             "timed_out": self.timed_out,
             "backend": self.backend,
+            "batched": self.batched,
+            "num_workers": self.num_workers,
+            "oc_batches": self.oc_batches,
+            "ofd_batches": self.ofd_batches,
         }
 
 

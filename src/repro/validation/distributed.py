@@ -1,4 +1,4 @@
-"""Simulated distributed AOC validation (the paper's future work, §5).
+"""Distributed AOC validation (the paper's future work, §5).
 
 The conclusions propose extending approximate OC discovery "to distributed
 settings, similar to [Saxena, Golab, Ilyas, PVLDB 2019]".  The key
@@ -8,29 +8,43 @@ its share of the classes locally and ship only a removal *count* (or the
 removal rows, for repair) to the coordinator, which adds them up and applies
 the global threshold.
 
-Because there is no real cluster in this reproduction, the workers are
-simulated in-process: the point of the module is to exercise and test the
-partitioning / merging logic (which classes go where, how counts combine,
-when the coordinator can stop early), which is exactly the logic a real
-deployment would need — only the transport is missing.
+Two execution modes are provided:
+
+* ``"simulated"`` — workers run in-process.  This exercises and tests the
+  partitioning / merging logic (which classes go where, how counts combine)
+  without any transport, and is deterministic and dependency-free.
+* ``"process"`` — workers are real OS processes behind a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker runs the
+  configured compute backend's per-class kernels on its shard; the
+  coordinator merges the reports exactly as in the simulated mode, so both
+  modes (and every worker count) produce identical results.
+
+:class:`ShardedValidationPool` is the engine-facing variant: the
+level-synchronous scheduler hands it whole context groups (one shared
+context, many candidate rank pairs) and it shards the context's classes
+across a persistent process pool with :func:`assign_classes_to_workers`,
+merging per-shard removal counts by summation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.backend import BackendSpec, resolve_backend
 from repro.dataset.partition import PartitionCache
 from repro.dataset.relation import Relation
 from repro.dependencies.oc import CanonicalOC
-from repro.validation.approx_oc_optimal import class_removal_rows
-from repro.validation.common import context_classes, removal_limit
+from repro.validation.common import context_classes, removal_limit, validation_backend
 from repro.validation.result import ValidationResult
+
+#: Execution modes accepted by :func:`validate_aoc_distributed`.
+EXECUTION_MODES = ("simulated", "process")
 
 
 @dataclass
 class WorkerReport:
-    """What one simulated worker sends back to the coordinator."""
+    """What one worker sends back to the coordinator."""
 
     worker_id: int
     num_classes: int
@@ -86,39 +100,167 @@ def assign_classes_to_workers(
     return assignments
 
 
+# -- worker entry points (module-level so they pickle for process pools) --------
+
+
+def _worker_removal_rows(backend, assigned, a_ranks, b_ranks) -> List[int]:
+    """One worker's share of Algorithm 2: removal rows of its classes."""
+    removal, _ = backend.oc_optimal_removal_rows(assigned, a_ranks, b_ranks, None)
+    return removal
+
+
+def _shard_oc_counts(backend, shard, columns, pair_refs, limit):
+    """One worker's share of the batched count kernel over a class shard."""
+    rank_pairs = [(columns[a], columns[b]) for a, b in pair_refs]
+    return backend.oc_optimal_removal_count_batch(shard, rank_pairs, limit)
+
+
+class ShardedValidationPool:
+    """Persistent process pool sharding batched OC validation by class.
+
+    The discovery engine creates one pool per run (``num_workers > 1``) and
+    feeds it whole context groups.  Classes are sharded with
+    :func:`assign_classes_to_workers`; every shard runs the backend's
+    :meth:`~repro.backend.base.ComputeBackend.oc_optimal_removal_count_batch`
+    and the coordinator sums the per-shard counts.  Summation is
+    order-independent, so results are identical for every worker count.
+
+    A shard that exceeds ``limit`` on its own proves the candidate invalid,
+    so ``limit`` is forwarded to the workers as a per-shard early-exit
+    budget; the merged count for such a candidate is then a partial value
+    above ``limit`` (permitted by the batch-kernel contract in
+    ``repro.backend.base``).
+    """
+
+    def __init__(self, num_workers: int, backend: BackendSpec = None) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        from concurrent.futures import ProcessPoolExecutor
+
+        self.num_workers = num_workers
+        self.backend = resolve_backend(backend)
+        self._executor = ProcessPoolExecutor(max_workers=num_workers)
+
+    def oc_counts_batch(
+        self,
+        classes: Sequence[Sequence[int]],
+        rank_pairs: Sequence[Tuple[object, object]],
+        limit: Optional[int] = None,
+    ) -> List[Tuple[int, bool]]:
+        """Batched minimal-removal counts, sharded across the pool."""
+        num_pairs = len(rank_pairs)
+        if num_pairs == 0:
+            return []
+        shards = [
+            shard
+            for shard in assign_classes_to_workers(list(classes), self.num_workers)
+            if shard
+        ]
+        if not shards:
+            return [(0, False)] * num_pairs
+        # Ship each distinct rank column once per shard, not once per pair.
+        columns: List[object] = []
+        column_index: Dict[int, int] = {}
+        pair_refs: List[Tuple[int, int]] = []
+        for a_ranks, b_ranks in rank_pairs:
+            refs = []
+            for ranks in (a_ranks, b_ranks):
+                key = id(ranks)
+                if key not in column_index:
+                    column_index[key] = len(columns)
+                    columns.append(ranks)
+                refs.append(column_index[key])
+            pair_refs.append((refs[0], refs[1]))
+        futures = [
+            self._executor.submit(
+                _shard_oc_counts, self.backend, shard, columns, pair_refs, limit
+            )
+            for shard in shards
+        ]
+        totals = [0] * num_pairs
+        exceeded = [False] * num_pairs
+        for future in futures:
+            for index, (count, over) in enumerate(future.result()):
+                totals[index] += count
+                exceeded[index] = exceeded[index] or over
+        if limit is not None:
+            exceeded = [
+                over or total > limit for total, over in zip(totals, exceeded)
+            ]
+        return list(zip(totals, exceeded))
+
+    def close(self) -> None:
+        """Shut the worker processes down."""
+        self._executor.shutdown()
+
+    def __enter__(self) -> "ShardedValidationPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 def validate_aoc_distributed(
     relation: Relation,
     oc: CanonicalOC,
     num_workers: int = 4,
     threshold: Optional[float] = None,
     partition_cache: Optional[PartitionCache] = None,
+    backend: BackendSpec = None,
+    execution: str = "simulated",
 ) -> DistributedValidationOutcome:
-    """Validate an AOC with simulated workers; equivalent to Algorithm 2.
+    """Validate an AOC with distributed workers; equivalent to Algorithm 2.
 
     Every worker runs the per-class LNDS kernel on its assigned classes and
     reports its removal rows; the coordinator merges the reports, applies
     the threshold and produces the same :class:`ValidationResult` the
     centralised validator would.
-    """
-    encoded = relation.encoded()
-    a_ranks = encoded.ranks(oc.a)
-    b_ranks = encoded.ranks(oc.b)
-    classes = context_classes(relation, oc.context, partition_cache)
-    assignments = assign_classes_to_workers(classes, num_workers)
 
-    reports: List[WorkerReport] = []
-    for worker_id, assigned in enumerate(assignments):
-        removal: List[int] = []
-        for class_rows in assigned:
-            removal.extend(class_removal_rows(class_rows, a_ranks, b_ranks))
-        reports.append(
-            WorkerReport(
-                worker_id=worker_id,
-                num_classes=len(assigned),
-                num_rows=sum(len(c) for c in assigned),
-                removal_rows=removal,
-            )
+    ``backend`` selects the compute backend the workers run on; like
+    :func:`~repro.validation.common.validation_backend`, it defaults to the
+    supplied partition cache's backend so discovery-driven validations stay
+    on one backend.  ``execution`` picks the transport: ``"simulated"``
+    (in-process workers) or ``"process"`` (a real
+    :class:`~concurrent.futures.ProcessPoolExecutor`); both produce
+    identical outcomes.
+    """
+    if execution not in EXECUTION_MODES:
+        raise ValueError(
+            f"execution must be one of {EXECUTION_MODES}, got {execution!r}"
         )
+    resolved = validation_backend(backend, partition_cache)
+    encoded = relation.encoded(resolved)
+    a_ranks = encoded.native_ranks(oc.a)
+    b_ranks = encoded.native_ranks(oc.b)
+    classes = context_classes(relation, oc.context, partition_cache, resolved)
+    assignments = assign_classes_to_workers(list(classes), num_workers)
+
+    if execution == "process":
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=num_workers) as executor:
+            futures = [
+                executor.submit(
+                    _worker_removal_rows, resolved, assigned, a_ranks, b_ranks
+                )
+                for assigned in assignments
+            ]
+            removals = [future.result() for future in futures]
+    else:
+        removals = [
+            _worker_removal_rows(resolved, assigned, a_ranks, b_ranks)
+            for assigned in assignments
+        ]
+
+    reports = [
+        WorkerReport(
+            worker_id=worker_id,
+            num_classes=len(assigned),
+            num_rows=sum(len(c) for c in assigned),
+            removal_rows=removal,
+        )
+        for worker_id, (assigned, removal) in enumerate(zip(assignments, removals))
+    ]
 
     merged = frozenset(
         row for report in reports for row in report.removal_rows

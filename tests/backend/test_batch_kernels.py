@@ -1,0 +1,170 @@
+"""Differential tests for the batched removal kernels.
+
+The batch kernels (``oc_optimal_removal_count_batch`` / ``ofd_removal_batch``)
+must honour the contract documented in ``repro.backend.base``: entry ``i``
+aligns with input ``i``, the ``exceeded`` flag is exact, and whenever a
+candidate does not exceed the limit its count/rows are byte-identical to the
+single-candidate kernels — across both backends.  The segmented multi-class
+LNDS kernel is additionally checked against the quadratic oracle through the
+padded-DP code path (many short segments at once).
+"""
+
+import random
+
+import pytest
+
+from repro.backend import get_backend
+from repro.validation.lnds import lnds_length_quadratic
+
+numpy = pytest.importorskip("numpy")
+
+BACKENDS = ("python", "numpy")
+
+
+def _random_instance(rng, n):
+    """Random stripped classes plus a few random rank-column pairs."""
+    perm = list(range(n))
+    rng.shuffle(perm)
+    classes, i = [], 0
+    while i < n - 1:
+        size = rng.randrange(2, 10)
+        cls = sorted(perm[i:i + size])
+        if len(cls) >= 2:
+            classes.append(cls)
+        i += size + rng.randrange(0, 2)  # occasionally leave singleton gaps
+    span = max(2, n // 3)
+    pairs = [
+        (
+            [rng.randrange(0, span) for _ in range(n)],
+            [rng.randrange(0, span) for _ in range(n)],
+        )
+        for _ in range(rng.randrange(1, 5))
+    ]
+    return classes, pairs
+
+
+def _native_pairs(backend, pairs):
+    return [(backend.to_native(a), backend.to_native(b)) for a, b in pairs]
+
+
+class TestOcCountBatch:
+    def test_backends_agree_on_random_instances(self):
+        rng = random.Random(1234)
+        py, nq = get_backend("python"), get_backend("numpy")
+        for _ in range(60):
+            n = rng.randrange(4, 120)
+            classes, pairs = _random_instance(rng, n)
+            for limit in (None, 0, 1, n // 4, n):
+                ref = py.oc_optimal_removal_count_batch(classes, pairs, limit)
+                got = nq.oc_optimal_removal_count_batch(
+                    classes, _native_pairs(nq, pairs), limit
+                )
+                assert len(ref) == len(got) == len(pairs)
+                for (ref_count, ref_over), (got_count, got_over) in zip(ref, got):
+                    assert ref_over == got_over
+                    if not ref_over:
+                        assert ref_count == got_count
+                    elif limit is not None:
+                        # exceeded counts are backend-defined but must prove
+                        # the violation
+                        assert ref_count > limit and got_count > limit
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_batch_matches_single_kernel(self, backend_name):
+        rng = random.Random(99)
+        backend = get_backend(backend_name)
+        for _ in range(20):
+            n = rng.randrange(10, 80)
+            classes, pairs = _random_instance(rng, n)
+            native = _native_pairs(backend, pairs)
+            batch = backend.oc_optimal_removal_count_batch(classes, native, None)
+            for (a, b), (count, over) in zip(native, batch):
+                single_count, single_over = backend.oc_optimal_removal_count(
+                    classes, a, b, None
+                )
+                assert (count, over) == (single_count, single_over)
+
+    def test_empty_inputs(self):
+        for backend_name in BACKENDS:
+            backend = get_backend(backend_name)
+            assert backend.oc_optimal_removal_count_batch([], [], 3) == []
+            a = backend.to_native([0, 1, 2, 3])
+            assert backend.oc_optimal_removal_count_batch(
+                [], [(a, a), (a, a)], 3
+            ) == [(0, False), (0, False)]
+
+    def test_padded_dp_path_matches_oracle(self):
+        """Many short disjoint segments force the padded multi-lane DP."""
+        rng = random.Random(5)
+        backend = get_backend("numpy")
+        n, width = 3000, 8
+        perm = list(range(n))
+        rng.shuffle(perm)
+        classes = [
+            sorted(perm[i * width:(i + 1) * width]) for i in range(n // width)
+        ]
+        a = list(range(n))  # identity: class order == row order
+        b = [rng.randrange(0, 40) for _ in range(n)]
+        expected = 0
+        for cls in classes:
+            values = [b[row] for row in cls]
+            expected += len(values) - lnds_length_quadratic(values)
+        (count, over), = backend.oc_optimal_removal_count_batch(
+            classes, [(backend.to_native(a), backend.to_native(b))], None
+        )
+        assert not over
+        assert count == expected
+        # and under a crossing budget the flag trips with a count above it
+        (count, over), = backend.oc_optimal_removal_count_batch(
+            classes,
+            [(backend.to_native(a), backend.to_native(b))],
+            expected - 1,
+        )
+        assert over and count > expected - 1
+
+    def test_mixed_segment_sizes_route_both_paths(self):
+        """One huge class (scalar fallback) plus many small ones (DP)."""
+        rng = random.Random(21)
+        backend = get_backend("numpy")
+        big = list(range(4000))
+        small_rows = list(range(4000, 7000))
+        classes = [big] + [
+            small_rows[i * 6:(i + 1) * 6] for i in range(len(small_rows) // 6)
+        ]
+        n = 7000
+        a = list(range(n))
+        b = [rng.randrange(0, 30) for _ in range(n)]
+        py = get_backend("python")
+        ref = py.oc_optimal_removal_count_batch(classes, [(a, b)], None)
+        got = backend.oc_optimal_removal_count_batch(
+            classes, [(backend.to_native(a), backend.to_native(b))], None
+        )
+        assert ref == got
+
+
+class TestOfdRemovalBatch:
+    def test_backends_agree_and_match_single(self):
+        rng = random.Random(4321)
+        py, nq = get_backend("python"), get_backend("numpy")
+        for _ in range(40):
+            n = rng.randrange(4, 120)
+            classes, pairs = _random_instance(rng, n)
+            rhs = [a for a, _ in pairs]
+            rhs_native = [nq.to_native(r) for r in rhs]
+            for limit in (None, 0, 2, n // 4):
+                ref = py.ofd_removal_batch(classes, rhs, limit)
+                got = nq.ofd_removal_batch(classes, rhs_native, limit)
+                # rows kernels are fully deterministic: identical rows in
+                # identical order, including the early-exit truncation point
+                assert ref == got
+                for ranks, single_ranks, result in zip(rhs, rhs_native, got):
+                    assert result == nq.ofd_removal_rows(
+                        classes, single_ranks, limit
+                    )
+
+    def test_empty_inputs(self):
+        for backend_name in BACKENDS:
+            backend = get_backend(backend_name)
+            assert backend.ofd_removal_batch([], [], None) == []
+            ranks = backend.to_native([0, 0, 1])
+            assert backend.ofd_removal_batch([], [ranks], 1) == [([], False)]

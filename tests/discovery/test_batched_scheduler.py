@@ -1,0 +1,127 @@
+"""The level-synchronous batched scheduler must be invisible in results.
+
+Acceptance bar for the batched validation path: byte-identical
+``DiscoveryResult``s — the same OCs/OFDs with the same removal sizes,
+approximation factors, levels and interestingness scores, in the same order
+— across scheduler on/off, both backends, and worker counts 1/2/4.
+"""
+
+import pytest
+
+from repro.backend import available_backends
+from repro.dataset.examples import employee_salary_table
+from repro.dataset.generators import generate_flight_like, generate_ncvoter_like
+from repro.discovery.api import discover, discover_aods
+from repro.discovery.config import DiscoveryConfig
+
+BACKENDS = available_backends()
+
+
+def _workloads():
+    return {
+        "table1": employee_salary_table(),
+        "flight": generate_flight_like(
+            250, num_attributes=6, error_rate=0.1, seed=3
+        ).relation,
+        "ncvoter": generate_ncvoter_like(
+            250, num_attributes=6, error_rate=0.1, seed=3
+        ).relation,
+    }
+
+
+WORKLOADS = _workloads()
+
+CONFIGS = {
+    "exact": dict(threshold=0.0, validator="exact"),
+    "optimal-10": dict(threshold=0.1, validator="optimal"),
+    "optimal-30": dict(threshold=0.3, validator="optimal"),
+    "iterative-10": dict(threshold=0.1, validator="iterative", max_level=3),
+}
+
+
+def _assert_identical(result, reference):
+    assert result.ocs == reference.ocs
+    assert result.ofds == reference.ofds
+    assert result.ocs_per_level() == reference.ocs_per_level()
+    assert result.ofds_per_level() == reference.ofds_per_level()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_batched_equals_per_candidate(workload, config_name, backend):
+    relation = WORKLOADS[workload]
+    reference = discover(
+        relation,
+        DiscoveryConfig(backend=backend, batch_validation=False,
+                        **CONFIGS[config_name]),
+    )
+    batched = discover(
+        relation,
+        DiscoveryConfig(backend=backend, batch_validation=True,
+                        **CONFIGS[config_name]),
+    )
+    _assert_identical(batched, reference)
+    assert batched.stats.batched and not reference.stats.batched
+    if CONFIGS[config_name].get("validator") != "exact":
+        assert batched.stats.oc_batches > 0
+        assert batched.stats.ofd_batches > 0
+    # both schedules validate and prune the same candidate populations
+    assert (
+        batched.stats.oc_candidates_validated
+        == reference.stats.oc_candidates_validated
+    )
+    assert (
+        batched.stats.ofd_candidates_validated
+        == reference.stats.ofd_candidates_validated
+    )
+    assert batched.stats.oc_candidates_pruned == reference.stats.oc_candidates_pruned
+    assert (
+        batched.stats.ofd_candidates_pruned
+        == reference.stats.ofd_candidates_pruned
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("num_workers", [2, 4])
+def test_sharded_workers_equal_sequential(backend, num_workers):
+    relation = WORKLOADS["flight"]
+    reference = discover(
+        relation,
+        DiscoveryConfig(threshold=0.1, backend=backend, batch_validation=False),
+    )
+    sharded = discover(
+        relation,
+        DiscoveryConfig(threshold=0.1, backend=backend, num_workers=num_workers),
+    )
+    _assert_identical(sharded, reference)
+    assert sharded.stats.num_workers == num_workers
+
+
+def test_api_exposes_workers_and_batching():
+    relation = WORKLOADS["table1"]
+    reference = discover_aods(relation, threshold=0.15)
+    unbatched = discover_aods(relation, threshold=0.15, batch_validation=False)
+    sharded = discover_aods(relation, threshold=0.15, num_workers=2)
+    _assert_identical(unbatched, reference)
+    _assert_identical(sharded, reference)
+
+
+def test_workers_require_batched_scheduler():
+    with pytest.raises(ValueError, match="batch_validation"):
+        DiscoveryConfig(num_workers=2, batch_validation=False)
+    with pytest.raises(ValueError, match="num_workers"):
+        DiscoveryConfig(num_workers=0)
+
+
+def test_find_ofds_disabled_still_identical():
+    relation = WORKLOADS["flight"]
+    reference = discover(
+        relation,
+        DiscoveryConfig(threshold=0.1, find_ofds=False, batch_validation=False),
+    )
+    batched = discover(
+        relation, DiscoveryConfig(threshold=0.1, find_ofds=False)
+    )
+    _assert_identical(batched, reference)
+    assert batched.num_ofds == 0

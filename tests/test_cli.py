@@ -23,6 +23,13 @@ class TestParser:
         assert args.max_level == 3
         assert args.attributes == ["a", "b"]
 
+    def test_scheduling_flags(self):
+        args = build_parser().parse_args(["data.csv"])
+        assert args.workers == 1 and not args.no_batch
+        args = build_parser().parse_args(["data.csv", "--workers", "4",
+                                          "--no-batch"])
+        assert args.workers == 4 and args.no_batch
+
 
 class TestMain:
     def test_demo_run(self, capsys):
@@ -56,3 +63,15 @@ class TestMain:
 
     def test_iterative_validator(self, capsys):
         assert main(["--demo", "--validator", "iterative"]) == 0
+
+    def test_no_batch_run(self, capsys):
+        assert main(["--demo", "--threshold", "0.15", "--no-batch"]) == 0
+        assert "Discovered:" in capsys.readouterr().out
+
+    def test_workers_run(self, capsys):
+        assert main(["--demo", "--threshold", "0.15", "--workers", "2"]) == 0
+        assert "Discovered:" in capsys.readouterr().out
+
+    def test_workers_without_batching_is_an_error(self, capsys):
+        assert main(["--demo", "--workers", "2", "--no-batch"]) == 2
+        assert "batch_validation" in capsys.readouterr().err

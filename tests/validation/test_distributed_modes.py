@@ -1,0 +1,104 @@
+"""Distributed validation: backend plumbing and the multiprocess path.
+
+Covers the ROADMAP follow-up (workers accept a ``backend`` argument,
+defaulting to a supplied partition cache's backend) and the real
+``ProcessPoolExecutor`` execution mode, which must be outcome-identical to
+the simulated one for every worker count.
+"""
+
+import pytest
+
+from repro.backend import available_backends, get_backend
+from repro.dataset.generators import generate_planted_oc_table
+from repro.dataset.partition import PartitionCache
+from repro.dependencies.oc import CanonicalOC
+from repro.validation.approx_oc_optimal import validate_aoc_optimal
+from repro.validation.distributed import (
+    ShardedValidationPool,
+    validate_aoc_distributed,
+)
+
+BACKENDS = available_backends()
+
+
+def _planted():
+    workload = generate_planted_oc_table(400, approximation_factor=0.1, seed=3)
+    (planted,) = workload.planted_ocs
+    return workload.relation, CanonicalOC(planted.context, planted.a, planted.b)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_argument_honoured(backend):
+    relation, oc = _planted()
+    central = validate_aoc_optimal(relation, oc, backend=backend)
+    outcome = validate_aoc_distributed(
+        relation, oc, num_workers=3, backend=backend
+    )
+    assert outcome.result.removal_rows == central.removal_rows
+    assert outcome.num_workers == 3
+
+
+def test_backend_defaults_to_partition_cache_backend():
+    relation, oc = _planted()
+    backend = get_backend("python")
+    cache = PartitionCache(relation.encoded(backend), backend=backend)
+    outcome = validate_aoc_distributed(relation, oc, partition_cache=cache)
+    central = validate_aoc_optimal(relation, oc, partition_cache=cache)
+    assert outcome.result.removal_rows == central.removal_rows
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("num_workers", [1, 2, 4])
+def test_process_execution_matches_simulated(backend, num_workers):
+    relation, oc = _planted()
+    simulated = validate_aoc_distributed(
+        relation, oc, num_workers=num_workers, backend=backend,
+        execution="simulated",
+    )
+    process = validate_aoc_distributed(
+        relation, oc, num_workers=num_workers, backend=backend,
+        execution="process",
+    )
+    assert process.result == simulated.result
+    assert process.result.removal_rows == simulated.result.removal_rows
+    assert [r.removal_rows for r in process.worker_reports] == [
+        r.removal_rows for r in simulated.worker_reports
+    ]
+
+
+def test_unknown_execution_mode_rejected():
+    relation, oc = _planted()
+    with pytest.raises(ValueError, match="execution"):
+        validate_aoc_distributed(relation, oc, execution="carrier-pigeon")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sharded_pool_counts_match_batch_kernel(backend):
+    relation, _ = _planted()
+    resolved = get_backend(backend)
+    encoded = relation.encoded(resolved)
+    names = relation.attribute_names
+    cache = PartitionCache(encoded, backend=resolved)
+    classes = cache.get_by_names([names[0]])
+    pairs = [
+        (encoded.native_ranks(names[1]), encoded.native_ranks(names[2])),
+        (encoded.native_ranks(names[2]), encoded.native_ranks(names[1])),
+    ]
+    for limit in (None, 5, 10_000):
+        local = resolved.oc_optimal_removal_count_batch(classes, pairs, limit)
+        with ShardedValidationPool(2, backend=resolved) as pool:
+            sharded = pool.oc_counts_batch(classes, pairs, limit)
+        assert len(sharded) == len(local)
+        for (l_count, l_over), (s_count, s_over) in zip(local, sharded):
+            assert l_over == s_over
+            if not l_over:
+                assert l_count == s_count
+            elif limit is not None:
+                assert s_count > limit
+
+
+def test_sharded_pool_empty_group():
+    with ShardedValidationPool(2, backend="python") as pool:
+        assert pool.oc_counts_batch([], [], 3) == []
+        ranks = [0, 1, 2, 3]
+        assert pool.oc_counts_batch([], [(ranks, ranks)], 3) == [(0, False)]
