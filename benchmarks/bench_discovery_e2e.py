@@ -3,7 +3,9 @@
 Unlike ``bench_validators_micro`` (single-candidate kernels), this suite
 times *whole* discovery runs on a generated flight-like workload and records
 the perf trajectory the ROADMAP asks for: per-candidate vs level-synchronous
-batched scheduling, python vs numpy backend, 1 vs 4 worker processes.
+batched scheduling, python vs numpy backend, 1 vs 4 worker processes, and a
+threshold sweep through a cold (one-shot per ε) vs warm
+(:meth:`repro.discovery.session.Profiler.sweep`) session.
 
 Every configuration must discover the identical OC/OFD sets (names, removal
 sizes, levels) — asserted at the end of the module — so the recorded numbers
@@ -22,7 +24,7 @@ from pathlib import Path
 import pytest
 
 from repro.backend import available_backends
-from repro.benchlib.harness import measure_discovery
+from repro.benchlib.harness import measure_discovery, measure_sweep
 from repro.dataset.generators import generate_flight_like
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "").strip() not in ("", "0")
@@ -31,6 +33,11 @@ NUM_ROWS = int(
 )
 NUM_ATTRIBUTES = 8 if QUICK else 10
 THRESHOLD = 0.1
+#: Thresholds for the session-sweep measurement (cold vs warm Profiler).
+#: An Exp-3-style grid around the paper's default ε = 10%; the warm session
+#: executes largest-first so removal counts transfer to every smaller budget.
+SWEEP_THRESHOLDS = [0.06, 0.09, 0.12, 0.15]
+SWEEP_BACKEND = "numpy" if "numpy" in available_backends() else "python"
 
 #: (backend, batched, workers) — per-candidate vs batched on both backends,
 #: plus the sharded multiprocess path on the fastest backend.
@@ -70,6 +77,28 @@ def test_discovery_e2e(relation, case):
     RESULTS[case] = measurement
     assert not measurement.timed_out
     assert measurement.num_ocs > 0 and measurement.num_ofds > 0
+
+
+SWEEP_RESULT = {}
+
+
+def test_sweep_cold_vs_warm(relation):
+    """Session sweep acceptance: a warm ``Profiler.sweep`` over several
+    thresholds must beat the equivalent repeated one-shot runs, with
+    byte-identical per-threshold results."""
+    measurement = measure_sweep(
+        relation, SWEEP_THRESHOLDS, backend=SWEEP_BACKEND
+    )
+    SWEEP_RESULT["sweep"] = measurement
+    for cold, warm in zip(measurement.cold_results, measurement.warm_results):
+        assert warm.ocs == cold.ocs
+        assert warm.ofds == cold.ofds
+    # Warm runs after the first serve most validations from the memo.
+    assert sum(r.stats.validation_memo_hits
+               for r in measurement.warm_results) > 0
+    if not QUICK:
+        # The ISSUE-3 acceptance bar, measured at the full 16k-row workload.
+        assert measurement.speedup >= 2.0, measurement.as_row()
 
 
 def _signature(measurement):
@@ -112,6 +141,9 @@ def _report(figure_report):
         "runs": rows,
         "batched_speedup": speedups,
     }
+    sweep = SWEEP_RESULT.get("sweep")
+    if sweep is not None:
+        payload["sweep"] = sweep.as_row() | {"rows": NUM_ROWS}
     (results_dir / "BENCH_discovery.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
@@ -133,5 +165,14 @@ def _report(figure_report):
             f"batched speedup vs per-candidate: {speedups}",
             "process workers amortise only on large contexts; at this scale "
             "they mostly measure the sharding overhead",
-        ],
+        ]
+        + (
+            [
+                f"session sweep {SWEEP_THRESHOLDS} ({sweep.backend}): "
+                f"cold {sweep.cold_seconds:.3f}s vs warm "
+                f"{sweep.warm_seconds:.3f}s = {sweep.speedup:.2f}x"
+            ]
+            if sweep is not None
+            else []
+        ),
     )

@@ -70,8 +70,11 @@ from repro.validation import (
     validate_exact_ofd,
 )
 from repro.discovery import (
+    CancellationToken,
     DiscoveryConfig,
+    DiscoveryRequest,
     DiscoveryResult,
+    Profiler,
     discover_aods,
     discover_ods,
 )
@@ -82,13 +85,16 @@ __all__ = [
     "available_backends",
     "get_backend",
     "resolve_backend",
+    "CancellationToken",
     "CanonicalOC",
     "CanonicalOD",
     "DiscoveryConfig",
+    "DiscoveryRequest",
     "DiscoveryResult",
     "FD",
     "ListOD",
     "OFD",
+    "Profiler",
     "Relation",
     "Schema",
     "ValidationResult",

@@ -14,9 +14,11 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.dataset.relation import Relation
 from repro.dependencies.oc import CanonicalOC
-from repro.discovery.config import DiscoveryConfig
+from repro.discovery.api import discover_aods
+from repro.discovery.config import DiscoveryConfig, DiscoveryRequest
 from repro.discovery.engine import DiscoveryEngine
 from repro.discovery.results import DiscoveryResult
+from repro.discovery.session import Profiler
 from repro.validation.approx_oc_iterative import validate_aoc_iterative
 from repro.validation.approx_oc_optimal import validate_aoc_optimal
 
@@ -110,6 +112,99 @@ def measure_discovery(
         backend=result.stats.backend,
         batched=result.stats.batched,
         num_workers=result.stats.num_workers,
+    )
+
+
+@dataclass
+class SweepMeasurement:
+    """Cold-vs-warm comparison of a threshold sweep (the session API's
+    headline win: one :class:`~repro.discovery.session.Profiler` reusing
+    partitions, pools and validation outcomes across ε values)."""
+
+    thresholds: List[float]
+    #: One fresh engine per threshold (the pre-session one-shot pattern).
+    cold_seconds: float
+    #: One warm session running :meth:`Profiler.sweep`.
+    warm_seconds: float
+    cold_results: List[DiscoveryResult]
+    warm_results: List[DiscoveryResult]
+    backend: str = "python"
+    num_workers: int = 1
+
+    @property
+    def speedup(self) -> float:
+        """How much faster the warm session sweep ran."""
+        if self.warm_seconds <= 0:
+            return float("inf")
+        return self.cold_seconds / self.warm_seconds
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten to a dict for the reporting tables / JSON artifacts."""
+        return {
+            "thresholds": list(self.thresholds),
+            "backend": self.backend,
+            "workers": self.num_workers,
+            "cold_seconds": round(self.cold_seconds, 4),
+            "warm_seconds": round(self.warm_seconds, 4),
+            "speedup": round(self.speedup, 2),
+            "memo_hits": [
+                r.stats.validation_memo_hits for r in self.warm_results
+            ],
+        }
+
+
+def measure_sweep(
+    relation: Relation,
+    thresholds: Sequence[float],
+    validator: str = "optimal",
+    attributes: Optional[Sequence[str]] = None,
+    max_level: Optional[int] = None,
+    backend: Optional[str] = None,
+    num_workers: int = 1,
+) -> SweepMeasurement:
+    """Time a threshold sweep cold (repeated one-shot runs) and warm (one
+    session), asserting nothing — per-threshold result comparisons are the
+    caller's job.
+
+    The cold series *is* repeated :func:`discover_aods` calls (fresh
+    one-shot session state per threshold); the warm series runs
+    :meth:`Profiler.sweep` on one session.  The relation is encoded once
+    up front so both series time discovery, not encoding.
+    """
+    relation.encoded(backend)
+    request = DiscoveryRequest(
+        validator=validator,
+        attributes=None if attributes is None else list(attributes),
+        max_level=max_level,
+    )
+
+    cold_results: List[DiscoveryResult] = []
+    cold_start = time.perf_counter()
+    for threshold in thresholds:
+        cold_results.append(discover_aods(
+            relation,
+            threshold=threshold,
+            validator=validator,
+            attributes=attributes,
+            max_level=max_level,
+            backend=backend,
+            num_workers=num_workers,
+        ))
+    cold_seconds = time.perf_counter() - cold_start
+
+    warm_start = time.perf_counter()
+    with Profiler(relation, backend=backend, num_workers=num_workers) as session:
+        warm_results = session.sweep(thresholds, request=request)
+    warm_seconds = time.perf_counter() - warm_start
+
+    return SweepMeasurement(
+        thresholds=list(thresholds),
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        cold_results=cold_results,
+        warm_results=warm_results,
+        backend=warm_results[0].stats.backend if warm_results else "python",
+        num_workers=num_workers,
     )
 
 

@@ -1,51 +1,68 @@
-"""Command-line interface: ``repro-discover``.
+"""Command-line interface: the ``repro`` subcommands.
 
-A small front-end over the library for profiling CSV files from a shell::
+A front-end over the session-oriented library API::
 
-    repro-discover data.csv --threshold 0.1 --attributes a b c
-    repro-discover data.csv --exact --max-level 4
-    repro-discover --demo            # run on the paper's Table 1
+    repro discover data.csv --threshold 0.1 --attributes a b c
+    repro discover data.csv --exact --max-level 4
+    repro discover --demo                  # run on the paper's Table 1
+    repro sweep data.csv --thresholds 0.05 0.1 0.15
+    repro serve data.csv other.csv --port 8080
 
-The CLI prints the discovery summary, the ranked dependencies and (with
-``--outliers``) the most suspicious tuples.
+``discover`` prints the discovery summary, the ranked dependencies and
+(with ``--outliers``) the most suspicious tuples.  ``sweep`` runs one warm
+:class:`~repro.discovery.session.Profiler` session across several
+approximation thresholds (the paper's Exp-3 loop) and prints the series.
+``serve`` exposes the same sessions over stdlib HTTP (see
+:mod:`repro.service`).
+
+The historical single-command form ``repro-discover data.csv ...`` keeps
+working: an invocation whose first argument is not a subcommand is routed
+to ``discover``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.applications.outlier_detection import detect_outliers
 from repro.backend import BACKEND_CHOICES, BACKEND_ENV_VAR
 from repro.dataset.csv_io import read_csv
 from repro.dataset.examples import employee_salary_table
-from repro.discovery.api import discover_aods, discover_ods
+from repro.discovery.config import DiscoveryRequest
+from repro.discovery.session import Profiler
+
+#: The recognised subcommands (anything else is legacy ``discover`` syntax).
+COMMANDS = ("discover", "sweep", "serve")
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser (exposed for tests)."""
-    parser = argparse.ArgumentParser(
-        prog="repro-discover",
-        description="Discover (approximate) order dependencies in a CSV file.",
-    )
-    parser.add_argument("csv", nargs="?", help="input CSV file with a header row")
+# -- parser construction ---------------------------------------------------------
+
+
+def _dataset_options(parser: argparse.ArgumentParser, many: bool = False) -> None:
+    if many:
+        parser.add_argument(
+            "csv", nargs="*",
+            help="input CSV files with header rows (each becomes a dataset)",
+        )
+    else:
+        parser.add_argument(
+            "csv", nargs="?", help="input CSV file with a header row"
+        )
     parser.add_argument(
         "--demo", action="store_true",
         help="ignore the CSV argument and run on the paper's Table 1",
     )
     parser.add_argument(
-        "--threshold", type=float, default=0.1,
-        help="approximation threshold in [0, 1] (default 0.1)",
+        "--max-rows", type=int, default=None,
+        help="read at most this many rows from each CSV",
     )
-    parser.add_argument(
-        "--exact", action="store_true",
-        help="discover exact ODs only (threshold 0)",
-    )
-    parser.add_argument(
-        "--validator", choices=("optimal", "iterative"), default="optimal",
-        help="AOC validation algorithm (default: optimal)",
-    )
+
+
+def _engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--backend", choices=BACKEND_CHOICES, default=None,
         help="compute backend for encoding/partitions/validation "
@@ -70,45 +87,168 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap the lattice level (attribute-set size)",
     )
     parser.add_argument(
-        "--max-rows", type=int, default=None,
-        help="read at most this many rows from the CSV",
-    )
-    parser.add_argument(
         "--time-limit", type=float, default=None,
-        help="wall-clock budget in seconds",
+        help="wall-clock budget in seconds (per run)",
     )
-    parser.add_argument(
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Discover (approximate) order dependencies in CSV files.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    discover = subparsers.add_parser(
+        "discover", help="run one discovery and print ranked dependencies",
+    )
+    _dataset_options(discover)
+    _engine_options(discover)
+    discover.add_argument(
+        "--threshold", type=float, default=0.1,
+        help="approximation threshold in [0, 1] (default 0.1)",
+    )
+    discover.add_argument(
+        "--exact", action="store_true",
+        help="discover exact ODs only (threshold 0)",
+    )
+    discover.add_argument(
+        "--validator", choices=("optimal", "iterative"), default="optimal",
+        help="AOC validation algorithm (default: optimal)",
+    )
+    discover.add_argument(
         "--top", type=int, default=10,
         help="number of ranked dependencies to print (default 10)",
     )
-    parser.add_argument(
+    discover.add_argument(
         "--outliers", action="store_true",
         help="also print the most suspicious tuples",
     )
+    discover.set_defaults(func=_cmd_discover)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run one warm session across several thresholds (Exp-3 loop)",
+    )
+    _dataset_options(sweep)
+    _engine_options(sweep)
+    sweep.add_argument(
+        "--thresholds", type=float, nargs="+", metavar="T",
+        default=[0.0, 0.05, 0.10, 0.15, 0.20, 0.25],
+        help="approximation thresholds to sweep (default: 0%% .. 25%%)",
+    )
+    sweep.add_argument(
+        "--validator", choices=("optimal", "iterative"), default="optimal",
+        help="AOC validation algorithm (default: optimal)",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve discovery over HTTP, one warm session per dataset",
+    )
+    _dataset_options(serve, many=True)
+    serve.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default=None,
+        help="compute backend for every session",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes per session (default 1)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 picks a free port; default 8080)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
     return parser
+
+
+# -- entry point -----------------------------------------------------------------
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Invoked through the historical ``repro-discover`` entry point, even
+    # ``--help`` belongs to the discover command (its old flag listing);
+    # under ``repro``, bare ``--help`` shows the subcommand overview.
+    legacy_binary = sys.argv and Path(sys.argv[0]).name == "repro-discover"
+    if not argv or (argv[0] not in COMMANDS
+                    and (legacy_binary or argv[0] not in ("-h", "--help"))):
+        # Legacy single-command form (the original ``repro-discover`` CLI);
+        # a bare invocation gets discover's friendly missing-input error.
+        argv = ["discover"] + argv
+    elif argv[0] in COMMANDS and Path(argv[0]).is_file():
+        # A file literally named like a subcommand: the subcommand wins,
+        # but say so — the legacy form would have read the file.
+        print(f"note: interpreting {argv[0]!r} as the subcommand; use "
+              f"'repro discover {argv[0]}' or './{argv[0]}' to profile "
+              "the file of that name", file=sys.stderr)
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.demo:
-        relation = employee_salary_table()
-    elif args.csv:
-        relation = read_csv(args.csv, max_rows=args.max_rows)
-    else:
-        parser.print_usage(sys.stderr)
-        print("error: provide a CSV file or --demo", file=sys.stderr)
-        return 2
-
     try:
-        result = _run_discovery(relation, args)
-    except (RuntimeError, ValueError) as error:
-        # e.g. an unknown REPRO_BACKEND value, or --backend numpy without
-        # numpy installed: print the message instead of a traceback.
+        return args.func(args)
+    except (RuntimeError, ValueError, OSError) as error:
+        # e.g. an unknown REPRO_BACKEND value, --backend numpy without
+        # numpy installed, a missing CSV file, or a serve port already in
+        # use: print the message instead of a traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+
+# -- subcommand implementations ---------------------------------------------------
+
+
+def _load_relation(args, parser_hint: str):
+    if args.demo:
+        return employee_salary_table()
+    if args.csv:
+        return read_csv(args.csv, max_rows=args.max_rows)
+    print(f"usage hint: {parser_hint}", file=sys.stderr)
+    print("error: provide a CSV file or --demo", file=sys.stderr)
+    return None
+
+
+def _session(relation, args, warm: bool = True) -> Profiler:
+    # One-shot commands disable the warm caches: per-level partition
+    # eviction keeps peak memory bounded exactly like the plain engine,
+    # and a single-run memo would never be reused.
+    return Profiler(
+        relation, backend=args.backend, num_workers=args.workers,
+        cache_validations=warm, retain_partitions=warm,
+    )
+
+
+def _cmd_discover(args) -> int:
+    relation = _load_relation(args, "repro discover [csv | --demo] ...")
+    if relation is None:
+        return 2
+    pinned_workers = DiscoveryRequest.pin_workers(args.workers)
+    if args.exact:
+        request = DiscoveryRequest.exact(
+            attributes=args.attributes,
+            max_level=args.max_level,
+            time_limit_seconds=args.time_limit,
+            batch_validation=not args.no_batch,
+            num_workers=pinned_workers,
+        )
+    else:
+        request = DiscoveryRequest.approximate(
+            threshold=args.threshold,
+            validator=args.validator,
+            attributes=args.attributes,
+            max_level=args.max_level,
+            time_limit_seconds=args.time_limit,
+            batch_validation=not args.no_batch,
+            num_workers=pinned_workers,
+        )
+    with _session(relation, args, warm=False) as session:
+        result = session.discover(request)
 
     print(result.summary())
     print()
@@ -116,28 +256,78 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
-def _run_discovery(relation, args):
-    if args.exact:
-        return discover_ods(
-            relation,
-            attributes=args.attributes,
-            max_level=args.max_level,
-            time_limit_seconds=args.time_limit,
-            backend=args.backend,
-            batch_validation=not args.no_batch,
-            num_workers=args.workers,
-        )
-    return discover_aods(
-        relation,
-        threshold=args.threshold,
+def _cmd_sweep(args) -> int:
+    relation = _load_relation(args, "repro sweep [csv | --demo] --thresholds ...")
+    if relation is None:
+        return 2
+    request = DiscoveryRequest(
         validator=args.validator,
         attributes=args.attributes,
         max_level=args.max_level,
         time_limit_seconds=args.time_limit,
-        backend=args.backend,
         batch_validation=not args.no_batch,
-        num_workers=args.workers,
+        num_workers=DiscoveryRequest.pin_workers(args.workers),
     )
+    start = time.perf_counter()
+    with _session(relation, args) as session:
+        results = session.sweep(args.thresholds, request=request)
+        cache = session.cache_info()
+    elapsed = time.perf_counter() - start
+
+    from repro.benchlib.reporting import format_series_table
+
+    print(format_series_table(
+        "threshold",
+        [f"{t:.0%}" for t in args.thresholds],
+        {"seconds": [r.stats.total_seconds for r in results]},
+        annotations={
+            "#OCs": [r.num_ocs for r in results],
+            "#OFDs": [r.num_ofds for r in results],
+            "memo hits": [r.stats.validation_memo_hits for r in results],
+        },
+    ))
+    print()
+    print(f"Warm session: {len(args.thresholds)} thresholds in {elapsed:.3f}s "
+          f"[{cache['backend']} backend, partition cache "
+          f"{cache['hits']} hits / {cache['misses']} misses, "
+          f"{cache['validation_memo_entries']} memoised validations]")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import ProfilerService, make_server
+
+    service = ProfilerService(backend=args.backend, num_workers=args.workers)
+    if args.demo:
+        service.add_dataset("demo", employee_salary_table())
+    for path in args.csv:
+        # Dataset names come from the file stem; colliding stems (two
+        # files named data.csv in different directories) get a numeric
+        # suffix instead of refusing to start.
+        stem = Path(path).stem
+        name, n = stem, 2
+        while name in service.dataset_names:
+            name = f"{stem}-{n}"
+            n += 1
+        service.add_dataset(name, read_csv(path, max_rows=args.max_rows))
+    if not service.dataset_names:
+        print("error: provide at least one CSV file or --demo", file=sys.stderr)
+        return 2
+
+    server = make_server(service, host=args.host, port=args.port, quiet=False)
+    host, port = server.server_address[:2]
+    print(f"repro serve: {len(service.dataset_names)} dataset(s) "
+          f"{service.dataset_names} on http://{host}:{port}")
+    print("endpoints: GET /healthz | GET /datasets | POST /discover "
+          '{"dataset": ..., "request": {...}, "stream": false}')
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
 
 
 def _print_ranked(result, relation, args) -> None:

@@ -15,31 +15,59 @@ ordinary OD discovery (the ``ε = 0`` special case).
 
 Public entry points:
 
-* :func:`discover_ods` — exact OD discovery (FASTOD-style),
-* :func:`discover_aods` — approximate OD discovery with a threshold,
+* :class:`Profiler` — a long-lived session owning the encoded relation,
+  partition cache and worker pool; runs many discoveries
+  (:meth:`~Profiler.discover`, :meth:`~Profiler.sweep`,
+  :meth:`~Profiler.iter_events`) against warm state,
+* :class:`DiscoveryRequest` — the JSON-serialisable description of one run
+  (the request half of the service boundary; results serialise via
+  :meth:`DiscoveryResult.to_json`),
+* :func:`discover_ods` / :func:`discover_aods` — one-shot wrappers over a
+  single-run session,
 * :class:`DiscoveryConfig` / :class:`DiscoveryResult` for fine control and
-  rich results (per-level counts, rankings, phase timings).
+  rich results (per-level counts, rankings, phase timings),
+* the :mod:`repro.discovery.events` stream types
+  (:class:`LevelStarted`, :class:`DependencyFound`,
+  :class:`LevelCompleted`, :class:`RunCompleted`) yielded by
+  ``iter_events`` with mid-level cancellation
+  (:class:`CancellationToken`) and time-limit support.
 """
 
-from repro.discovery.config import DiscoveryConfig
+from repro.discovery.config import DiscoveryConfig, DiscoveryRequest
 from repro.discovery.results import (
     DiscoveredOC,
     DiscoveredOFD,
     DiscoveryResult,
 )
 from repro.discovery.stats import DiscoveryStatistics
+from repro.discovery.events import (
+    DependencyFound,
+    DiscoveryEvent,
+    LevelCompleted,
+    LevelStarted,
+    RunCompleted,
+)
 from repro.discovery.engine import DiscoveryEngine
+from repro.discovery.session import CancellationToken, Profiler
 from repro.discovery.api import discover_aods, discover_ods
 from repro.discovery.interestingness import interestingness_score
 from repro.discovery.sampling import prefilter_candidates, validate_aoc_hybrid
 
 __all__ = [
+    "CancellationToken",
+    "DependencyFound",
     "DiscoveredOC",
     "DiscoveredOFD",
     "DiscoveryConfig",
     "DiscoveryEngine",
+    "DiscoveryEvent",
+    "DiscoveryRequest",
     "DiscoveryResult",
     "DiscoveryStatistics",
+    "LevelCompleted",
+    "LevelStarted",
+    "Profiler",
+    "RunCompleted",
     "discover_aods",
     "discover_ods",
     "interestingness_score",

@@ -1,13 +1,23 @@
-"""Convenience entry points for OD / AOD discovery."""
+"""Convenience entry points for OD / AOD discovery.
+
+These are thin wrappers over a one-shot
+:class:`~repro.discovery.session.Profiler` session: each call builds a
+session, runs a single :class:`~repro.discovery.config.DiscoveryRequest`
+against it and tears it down again.  Code that profiles the same relation
+repeatedly (threshold sweeps, serving) should hold a ``Profiler`` instead —
+it amortises encoding, partitions and the worker pool across runs, with
+byte-identical per-run results.
+"""
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
 from repro.dataset.relation import Relation
-from repro.discovery.config import DiscoveryConfig
+from repro.discovery.config import DiscoveryConfig, DiscoveryRequest
 from repro.discovery.engine import DiscoveryEngine
 from repro.discovery.results import DiscoveryResult
+from repro.discovery.session import Profiler
 
 
 def discover_ods(
@@ -33,16 +43,18 @@ def discover_ods(
     >>> result.find_oc("sal", "taxGrp") is not None
     True
     """
-    config = DiscoveryConfig.exact(
-        attributes=attributes,
+    request = DiscoveryRequest.exact(
+        attributes=None if attributes is None else list(attributes),
         max_level=max_level,
         time_limit_seconds=time_limit_seconds,
         find_ofds=find_ofds,
-        backend=backend,
         batch_validation=batch_validation,
-        num_workers=num_workers,
+        num_workers=DiscoveryRequest.pin_workers(num_workers),
     )
-    return DiscoveryEngine(relation, config).run()
+    with Profiler(relation, backend=backend, num_workers=num_workers,
+                  cache_validations=False,
+                  retain_partitions=False) as session:
+        return session.discover(request)
 
 
 def discover_aods(
@@ -80,20 +92,27 @@ num_workers:
     >>> found is not None and found.removal_size == 1
     True
     """
-    config = DiscoveryConfig.approximate(
+    request = DiscoveryRequest.approximate(
         threshold=threshold,
         validator=validator,
-        attributes=attributes,
+        attributes=None if attributes is None else list(attributes),
         max_level=max_level,
         time_limit_seconds=time_limit_seconds,
         find_ofds=find_ofds,
-        backend=backend,
         batch_validation=batch_validation,
-        num_workers=num_workers,
+        num_workers=DiscoveryRequest.pin_workers(num_workers),
     )
-    return DiscoveryEngine(relation, config).run()
+    with Profiler(relation, backend=backend, num_workers=num_workers,
+                  cache_validations=False,
+                  retain_partitions=False) as session:
+        return session.discover(request)
 
 
 def discover(relation: Relation, config: DiscoveryConfig) -> DiscoveryResult:
-    """Run discovery with an explicit :class:`DiscoveryConfig`."""
+    """Run discovery with an explicit :class:`DiscoveryConfig`.
+
+    This is the engine-level escape hatch (live backend instances,
+    progress callbacks); the engine owns all of its state, exactly like a
+    one-shot session.
+    """
     return DiscoveryEngine(relation, config).run()

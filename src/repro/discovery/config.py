@@ -1,9 +1,23 @@
-"""Configuration of a discovery run."""
+"""Configuration of a discovery run.
+
+Two related types live here:
+
+* :class:`DiscoveryConfig` — the engine-facing configuration.  It may hold
+  live objects (a :class:`~repro.backend.base.ComputeBackend` instance, a
+  progress callback) and is what :class:`repro.discovery.engine.DiscoveryEngine`
+  consumes.
+* :class:`DiscoveryRequest` — the *serialisable* subset of a configuration:
+  plain JSON-compatible values only, convertible to and from a
+  :class:`DiscoveryConfig`.  This is the request half of the service
+  boundary used by :class:`repro.discovery.session.Profiler` and
+  ``repro serve``.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+import json
+from dataclasses import asdict, dataclass, field, fields as _dataclass_fields
+from typing import Dict, List, Optional, Sequence
 
 from repro.backend import BACKEND_CHOICES, ComputeBackend
 
@@ -134,3 +148,200 @@ class DiscoveryConfig:
                     **kwargs) -> "DiscoveryConfig":
         """Configuration for AOD discovery (default ``ε = 10%`` as in the paper)."""
         return cls(threshold=threshold, validator=validator, **kwargs)
+
+
+@dataclass(frozen=True)
+class DiscoveryRequest:
+    """A JSON-serialisable description of one discovery run.
+
+    Requests carry only plain values — no backend instances, no callbacks —
+    so they can cross a service boundary unchanged: the CLI, the
+    :class:`~repro.discovery.session.Profiler` session API and the
+    ``repro serve`` HTTP mode all speak this type.  Session-owned concerns
+    (which compute backend, how many worker processes, progress callbacks)
+    are supplied when the request is resolved against a session via
+    :meth:`to_config`.
+
+    Fields mirror :class:`DiscoveryConfig`; ``num_workers`` is optional and
+    ``None`` defers to the session's worker count.
+    """
+
+    threshold: float = 0.0
+    validator: str = "optimal"
+    attributes: Optional[List[str]] = None
+    max_level: Optional[int] = None
+    time_limit_seconds: Optional[float] = None
+    find_ofds: bool = True
+    aggressive_ofd_pruning: bool = True
+    prune_exhausted_nodes: bool = True
+    batch_validation: bool = True
+    num_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.attributes is not None:
+            # A bare string would be silently split into characters by
+            # list(); it is always a client mistake.
+            if isinstance(self.attributes, (str, bytes)):
+                raise ValueError(
+                    "attributes must be a list of attribute names, got "
+                    f"the single string {self.attributes!r}"
+                )
+            object.__setattr__(self, "attributes", list(self.attributes))
+        self._check_types()
+        # Validate eagerly with the config's own rules so malformed requests
+        # fail at the boundary, not deep inside the engine.
+        self.to_config()
+
+    def _check_types(self) -> None:
+        """Reject wrongly-typed values at the boundary.
+
+        JSON clients send strings like ``"false"`` that are truthy in
+        Python; silently honoring them would flip run semantics, which is
+        exactly the class of mistake the strict unknown-key check exists
+        to prevent.
+        """
+        def expect(name: str, value: object, ok: bool, wanted: str) -> None:
+            if not ok:
+                raise ValueError(f"{name} must be {wanted}, got {value!r}")
+
+        def is_number(value: object) -> bool:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+        expect("threshold", self.threshold, is_number(self.threshold),
+               "a number")
+        expect("validator", self.validator, isinstance(self.validator, str),
+               "a string")
+        if self.attributes is not None:
+            expect("attributes", self.attributes,
+                   all(isinstance(a, str) for a in self.attributes),
+                   "a list of attribute names")
+        for name in ("max_level", "num_workers"):
+            value = getattr(self, name)
+            expect(name, value,
+                   value is None or (isinstance(value, int)
+                                     and not isinstance(value, bool)),
+                   "an integer or null")
+        expect("time_limit_seconds", self.time_limit_seconds,
+               self.time_limit_seconds is None or is_number(
+                   self.time_limit_seconds),
+               "a number or null")
+        for name in ("find_ofds", "aggressive_ofd_pruning",
+                     "prune_exhausted_nodes", "batch_validation"):
+            expect(name, getattr(self, name),
+                   isinstance(getattr(self, name), bool), "a boolean")
+
+    # -- factories ---------------------------------------------------------------
+
+    @staticmethod
+    def pin_workers(num_workers: int) -> Optional[int]:
+        """Request-level worker count for an explicit user choice.
+
+        ``1`` (the default) maps to ``None`` — defer to the session —
+        while any other count is pinned on the request, so invalid
+        combinations (e.g. with ``batch_validation=False``) are rejected
+        rather than quietly resolved to a serial run.
+        """
+        return num_workers if num_workers != 1 else None
+
+    @classmethod
+    def exact(cls, **kwargs) -> "DiscoveryRequest":
+        """Request for exact OD discovery (``ε = 0``, linear exact check)."""
+        kwargs.setdefault("validator", "exact")
+        return cls(threshold=0.0, **kwargs)
+
+    @classmethod
+    def approximate(cls, threshold: float = 0.1, validator: str = "optimal",
+                    **kwargs) -> "DiscoveryRequest":
+        """Request for AOD discovery (default ``ε = 10%``)."""
+        return cls(threshold=threshold, validator=validator, **kwargs)
+
+    # -- conversion to/from the engine configuration -----------------------------
+
+    def to_config(
+        self,
+        backend: Optional[object] = None,
+        num_workers: int = 1,
+        progress_callback: Optional[object] = None,
+    ) -> DiscoveryConfig:
+        """Resolve this request into an engine :class:`DiscoveryConfig`.
+
+        ``backend`` / ``num_workers`` / ``progress_callback`` are the
+        session-owned parameters; a request-level ``num_workers`` overrides
+        the session default.  A session default above 1 quietly resolves to
+        1 for runs that cannot use the worker pool anyway
+        (``batch_validation=False``) — only an *explicitly pinned* invalid
+        combination is rejected.
+        """
+        if self.num_workers is not None:
+            effective_workers = self.num_workers
+        elif not self.batch_validation:
+            effective_workers = 1
+        else:
+            effective_workers = num_workers
+        return DiscoveryConfig(
+            threshold=self.threshold,
+            validator=self.validator,
+            attributes=None if self.attributes is None else list(self.attributes),
+            max_level=self.max_level,
+            time_limit_seconds=self.time_limit_seconds,
+            find_ofds=self.find_ofds,
+            aggressive_ofd_pruning=self.aggressive_ofd_pruning,
+            prune_exhausted_nodes=self.prune_exhausted_nodes,
+            batch_validation=self.batch_validation,
+            num_workers=effective_workers,
+            backend=backend,
+            progress_callback=progress_callback,
+        )
+
+    @classmethod
+    def from_config(cls, config: DiscoveryConfig) -> "DiscoveryRequest":
+        """Project an engine configuration onto its serialisable subset."""
+        return cls(
+            threshold=config.threshold,
+            validator=config.validator,
+            attributes=None if config.attributes is None
+            else list(config.attributes),
+            max_level=config.max_level,
+            time_limit_seconds=config.time_limit_seconds,
+            find_ofds=config.find_ofds,
+            aggressive_ofd_pruning=config.aggressive_ofd_pruning,
+            prune_exhausted_nodes=config.prune_exhausted_nodes,
+            batch_validation=config.batch_validation,
+            num_workers=config.num_workers,
+        )
+
+    # -- JSON boundary -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-compatible values only)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DiscoveryRequest":
+        """Rebuild a request from :meth:`to_dict` output.
+
+        Unknown keys raise ``ValueError`` — the request is a typed boundary,
+        so misspelled parameters must not be silently dropped.
+        """
+        known = {f.name for f in _dataclass_fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown DiscoveryRequest fields: {unknown} "
+                f"(known: {sorted(known)})"
+            )
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "DiscoveryRequest":
+        """Parse a request from a JSON string."""
+        data = json.loads(payload)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"DiscoveryRequest JSON must be an object, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)

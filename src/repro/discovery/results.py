@@ -7,12 +7,13 @@ their interestingness score — everything the paper's Exp-4/5/6 report on.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.dependencies.oc import CanonicalOC
 from repro.dependencies.ofd import OFD
-from repro.discovery.config import DiscoveryConfig
+from repro.discovery.config import DiscoveryConfig, DiscoveryRequest
 from repro.discovery.stats import DiscoveryStatistics
 
 
@@ -35,6 +36,29 @@ class DiscoveredOC:
         kind = "OC" if self.is_exact else f"AOC(e={self.approximation_factor:.3f})"
         return f"{kind} level={self.level} {self.oc!r}"
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for the JSON service boundary."""
+        return {
+            "context": sorted(self.oc.context),
+            "a": self.oc.a,
+            "b": self.oc.b,
+            "approximation_factor": self.approximation_factor,
+            "removal_size": self.removal_size,
+            "level": self.level,
+            "interestingness": self.interestingness,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DiscoveredOC":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            oc=CanonicalOC(data["context"], data["a"], data["b"]),
+            approximation_factor=data["approximation_factor"],
+            removal_size=data["removal_size"],
+            level=data["level"],
+            interestingness=data.get("interestingness", 0.0),
+        )
+
 
 @dataclass(frozen=True)
 class DiscoveredOFD:
@@ -54,6 +78,28 @@ class DiscoveredOFD:
     def __str__(self) -> str:
         kind = "OFD" if self.is_exact else f"AOFD(e={self.approximation_factor:.3f})"
         return f"{kind} level={self.level} {self.ofd!r}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for the JSON service boundary."""
+        return {
+            "context": sorted(self.ofd.context),
+            "attribute": self.ofd.attribute,
+            "approximation_factor": self.approximation_factor,
+            "removal_size": self.removal_size,
+            "level": self.level,
+            "interestingness": self.interestingness,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DiscoveredOFD":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            ofd=OFD(data["context"], data["attribute"]),
+            approximation_factor=data["approximation_factor"],
+            removal_size=data["removal_size"],
+            level=data["level"],
+            interestingness=data.get("interestingness", 0.0),
+        )
 
 
 @dataclass
@@ -88,6 +134,23 @@ class DiscoveryResult:
     def timed_out(self) -> bool:
         """``True`` when the run was cut off by the configured time limit."""
         return self.stats.timed_out
+
+    @property
+    def cancelled(self) -> bool:
+        """``True`` when the run was stopped early via a cancellation token."""
+        return self.stats.cancelled
+
+    @property
+    def completed_levels(self) -> int:
+        """Number of lattice levels that finished validating completely.
+
+        For a run that timed out or was cancelled, the last started level
+        may hold only a partial set of discoveries; dependencies at levels
+        up to this value are byte-identical to an uninterrupted run.
+        """
+        if self.stats.timed_out or self.stats.cancelled:
+            return max(0, self.stats.levels_processed - 1)
+        return self.stats.levels_processed
 
     # -- level analytics (Exp-5) ------------------------------------------------
 
@@ -146,6 +209,60 @@ class DiscoveryResult:
         """The bare OC statements (used for set comparisons across runs)."""
         return [found.oc for found in self.ocs]
 
+    # -- JSON service boundary ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form of the complete result (JSON-compatible).
+
+        The engine configuration is projected onto its serialisable
+        :class:`~repro.discovery.config.DiscoveryRequest` subset; the
+        backend that produced the run travels in ``stats.backend``.
+        """
+        return {
+            "request": DiscoveryRequest.from_config(self.config).to_dict(),
+            "num_rows": self.num_rows,
+            "attributes": list(self.attributes),
+            "ocs": [found.to_dict() for found in self.ocs],
+            "ofds": [found.to_dict() for found in self.ofds],
+            "stats": self.stats.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DiscoveryResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The reconstructed ``config`` carries the original request parameters
+        and the recorded backend *name*; live objects (backend instances,
+        callbacks) do not cross the boundary.
+        """
+        stats = DiscoveryStatistics.from_dict(data.get("stats", {}))
+        request = DiscoveryRequest.from_dict(data["request"])
+        backend = stats.backend if stats.backend else None
+        config = request.to_config(backend=backend,
+                                   num_workers=stats.num_workers)
+        return cls(
+            config=config,
+            num_rows=data["num_rows"],
+            attributes=list(data["attributes"]),
+            ocs=[DiscoveredOC.from_dict(d) for d in data.get("ocs", [])],
+            ofds=[DiscoveredOFD.from_dict(d) for d in data.get("ofds", [])],
+            stats=stats,
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialise the complete result to JSON."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "DiscoveryResult":
+        """Parse a result from :meth:`to_json` output."""
+        data = json.loads(payload)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"DiscoveryResult JSON must be an object, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)
+
     def summary(self) -> str:
         """One-paragraph human-readable summary (used by the CLI and examples)."""
         mode = "exact" if self.config.is_exact else (
@@ -156,7 +273,8 @@ class DiscoveryResult:
             f"Relation: {self.num_rows} rows, {len(self.attributes)} attributes",
             f"Discovered: {self.num_ocs} OCs, {self.num_ofds} OFDs "
             f"in {self.stats.total_seconds:.3f}s"
-            + (" (timed out)" if self.timed_out else ""),
+            + (" (timed out)" if self.timed_out else "")
+            + (" (cancelled)" if self.cancelled else ""),
             f"Validation share of runtime: {self.stats.validation_share:.1%}",
             f"OCs per level: {self.ocs_per_level()}",
         ]

@@ -1,0 +1,288 @@
+"""Session-oriented profiling API: the long-lived :class:`Profiler`.
+
+The one-shot entry points (:func:`repro.discovery.api.discover_aods` and
+friends) pay the full setup cost on every call: the relation is encoded,
+the partition cache rebuilt, and the worker pool re-spawned.  The paper's
+core evaluation loop — discovery over the *same* table at many ε values
+(Exp-4/5/6 threshold sweeps) — repeats exactly that setup per threshold.
+
+A :class:`Profiler` owns the expensive state once and runs many discoveries
+against it:
+
+* the **encoded relation** (order-preserving dictionary encoding),
+* a **partition cache** shared across runs and never evicted mid-session,
+* the **worker pool** (:class:`~repro.validation.distributed.ShardedValidationPool`),
+  spawned lazily and reused until :meth:`Profiler.close`,
+* a **validation memo** mapping candidates to their kernel outcomes, so a
+  sweep revalidates only what a new removal budget actually changes
+  (soundness rules in ``DiscoveryEngine._memo_lookup``; memoised runs stay
+  byte-identical).
+
+Usage::
+
+    with Profiler(relation, backend="numpy", num_workers=4) as profiler:
+        result = profiler.discover(DiscoveryRequest(threshold=0.1))
+        series = profiler.sweep([0.05, 0.10, 0.15])
+        for event in profiler.iter_events(DiscoveryRequest(threshold=0.2)):
+            ...  # LevelStarted / DependencyFound / LevelCompleted / RunCompleted
+
+Requests are plain :class:`~repro.discovery.config.DiscoveryRequest` values
+(JSON-serialisable); live concerns — backend, workers, progress callbacks,
+cancellation — belong to the session and the call site.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.backend import resolve_backend
+from repro.dataset.partition import PartitionCache
+from repro.dataset.relation import Relation
+from repro.discovery.config import DiscoveryRequest
+from repro.discovery.engine import DiscoveryEngine, config_uses_shard_pool
+from repro.discovery.events import DiscoveryEvent
+from repro.discovery.results import DiscoveryResult
+
+
+class CancellationToken:
+    """Thread-safe cooperative cancellation for a running discovery.
+
+    Hand one to :meth:`Profiler.discover` / :meth:`Profiler.iter_events`
+    (or ``DiscoveryEngine.run``) and call :meth:`cancel` — from a callback,
+    another thread, or a signal handler — to stop the run at the next
+    node / context-group boundary.  The interrupted run returns a
+    well-formed partial :class:`~repro.discovery.results.DiscoveryResult`
+    with ``result.cancelled`` set.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent)."""
+        self._event.set()
+
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._event.is_set()
+
+
+class Profiler:
+    """A reusable discovery session over one relation.
+
+    Parameters
+    ----------
+    relation:
+        The table to profile.  Encoded once, at construction.
+    backend:
+        Compute backend for every run of this session (instance, name, or
+        ``None`` for the environment default).
+    num_workers:
+        Default worker-process count for runs whose request does not pin
+        its own (``DiscoveryRequest.num_workers is None``).  The pool is
+        spawned lazily on the first run that needs it and reused until
+        :meth:`close`.
+    cache_validations:
+        Keep a cross-run memo of validation outcomes (default on).  Cold
+        runs behave identically to the one-shot API; repeated runs and
+        :meth:`sweep` skip every kernel call whose outcome is still sound
+        for the new threshold.  Disable to measure raw engine time.
+    retain_partitions:
+        Keep one partition cache alive across runs (default on — it is the
+        session's main warm asset).  When disabled each run owns its own
+        cache and evicts it level by level, bounding peak memory exactly
+        like the pre-session engine; the one-shot ``discover_*`` wrappers
+        use this, since their session never runs twice.
+    shard_pool:
+        An externally-owned
+        :class:`~repro.validation.distributed.ShardedValidationPool` to
+        run on instead of spawning one.  The session never closes an
+        external pool; hosts serving many datasets share a single pool
+        across their sessions this way.  Must match ``num_workers``.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        *,
+        backend=None,
+        num_workers: int = 1,
+        cache_validations: bool = True,
+        retain_partitions: bool = True,
+        shard_pool=None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if shard_pool is not None and shard_pool.num_workers != num_workers:
+            raise ValueError(
+                f"external pool has {shard_pool.num_workers} workers, "
+                f"session wants {num_workers}"
+            )
+        self.relation = relation
+        self.backend = resolve_backend(backend)
+        self.num_workers = num_workers
+        self.encoded = relation.encoded(self.backend)
+        self.partitions = (
+            PartitionCache(self.encoded, backend=self.backend)
+            if retain_partitions else None
+        )
+        self._memo: Optional[dict] = {} if cache_validations else None
+        self._pool = shard_pool
+        self._owns_pool = shard_pool is None
+        self._closed = False
+
+    # -- discovery ---------------------------------------------------------------
+
+    def discover(
+        self,
+        request: Optional[DiscoveryRequest] = None,
+        *,
+        progress_callback=None,
+        cancellation=None,
+        **overrides,
+    ) -> DiscoveryResult:
+        """Run one discovery against the session's warm state.
+
+        ``request`` defaults to ``DiscoveryRequest()``; keyword overrides
+        build or amend it (``profiler.discover(threshold=0.1)`` is
+        shorthand for ``profiler.discover(DiscoveryRequest(threshold=0.1))``).
+        """
+        engine = self._engine(request, overrides, progress_callback)
+        return engine.run(cancellation)
+
+    def iter_events(
+        self,
+        request: Optional[DiscoveryRequest] = None,
+        *,
+        progress_callback=None,
+        cancellation=None,
+        **overrides,
+    ) -> Iterator[DiscoveryEvent]:
+        """Stream one discovery as level events (see
+        :mod:`repro.discovery.events`); the final
+        :class:`~repro.discovery.events.RunCompleted` carries the result."""
+        engine = self._engine(request, overrides, progress_callback)
+        return engine.iter_events(cancellation)
+
+    def sweep(
+        self,
+        thresholds: Iterable[float],
+        *,
+        request: Optional[DiscoveryRequest] = None,
+        progress_callback=None,
+        cancellation=None,
+        **overrides,
+    ) -> List[Optional[DiscoveryResult]]:
+        """Discover at every threshold, reusing warm state across runs.
+
+        Returns one :class:`~repro.discovery.results.DiscoveryResult` per
+        threshold, in the order given.  Internally the thresholds execute
+        largest-first: a removal count computed under a large budget is
+        reusable for every smaller budget (and "over budget" verdicts
+        transfer downward), so the descending order maximises validation
+        memo reuse.  Results are identical for any execution order.
+
+        When ``cancellation`` fires, the sweep stops after the run it
+        interrupted (that run's result carries ``result.cancelled``);
+        thresholds it never reached get ``None`` in the returned list, so
+        positions always correspond to the input thresholds —
+        ``zip(thresholds, results)`` stays correct for partial sweeps.  An
+        uninterrupted sweep never contains ``None``.
+        """
+        thresholds = list(thresholds)
+        base = request if request is not None else DiscoveryRequest()
+        if overrides:
+            base = replace(base, **overrides)
+        results: List[Optional[DiscoveryResult]] = [None] * len(thresholds)
+        order = sorted(range(len(thresholds)), key=lambda i: -thresholds[i])
+        for i in order:
+            results[i] = self.discover(
+                replace(base, threshold=thresholds[i]),
+                progress_callback=progress_callback,
+                cancellation=cancellation,
+            )
+            if cancellation is not None and cancellation.cancelled():
+                break
+        return results
+
+    # -- introspection -----------------------------------------------------------
+
+    def cache_info(self) -> Dict[str, object]:
+        """Warm-state statistics: partition cache hits/misses/entries and
+        the number of memoised validation outcomes."""
+        info: Dict[str, object] = (
+            dict(self.partitions.stats) if self.partitions is not None
+            else {"hits": 0, "misses": 0, "entries": 0}
+        )
+        info["validation_memo_entries"] = (
+            len(self._memo) if self._memo is not None else 0
+        )
+        info["backend"] = self.backend.name
+        return info
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the session-owned worker pool and mark the session
+        closed (idempotent).  Guaranteed to leave no worker processes
+        behind, no matter how the session's runs ended (exceptions,
+        cancellations, time limits); an externally-supplied pool is left
+        to its owner."""
+        if self._pool is not None and self._owns_pool:
+            self._pool.close()
+        self._pool = None
+        self._closed = True
+
+    def __enter__(self) -> "Profiler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _engine(self, request, overrides, progress_callback) -> DiscoveryEngine:
+        if self._closed:
+            raise RuntimeError("Profiler is closed")
+        if request is None:
+            request = DiscoveryRequest(**overrides)
+        elif overrides:
+            request = replace(request, **overrides)
+        config = request.to_config(
+            backend=self.backend,
+            num_workers=self.num_workers,
+            progress_callback=progress_callback,
+        )
+        pool = None
+        if config_uses_shard_pool(config):
+            if config.num_workers == self.num_workers:
+                pool = self._ensure_pool()
+            # else: the request pinned a different worker count — the
+            # engine spawns (and closes) a pool of its own for this one
+            # run rather than thrashing the session's warm pool.
+        return DiscoveryEngine(
+            self.relation,
+            config,
+            partitions=self.partitions,
+            shard_pool=pool,
+            validation_memo=self._memo,
+        )
+
+    def _ensure_pool(self):
+        from repro.validation.distributed import ShardedValidationPool
+
+        if self._pool is None:
+            self._pool = ShardedValidationPool(
+                self.num_workers, backend=self.backend
+            )
+            self._owns_pool = True
+        return self._pool

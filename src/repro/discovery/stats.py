@@ -10,8 +10,12 @@ holds them.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as _dataclass_fields
 from typing import Dict, List
+
+
+def _stat_fields():
+    return _dataclass_fields(DiscoveryStatistics)
 
 
 @dataclass
@@ -33,6 +37,12 @@ class DiscoveryStatistics:
     levels_processed: int = 0
     nodes_per_level: Dict[int, int] = field(default_factory=dict)
     timed_out: bool = False
+    #: ``True`` when the run was stopped early through a cancellation token.
+    cancelled: bool = False
+    #: Validation outcomes served from a session's warm memo instead of a
+    #: kernel call (always 0 for one-shot runs; grows across
+    #: :meth:`repro.discovery.session.Profiler.sweep` thresholds).
+    validation_memo_hits: int = 0
     #: Name of the compute backend that executed the run's hot paths.
     backend: str = "python"
     #: Whether the level-synchronous batched scheduler was active.
@@ -74,13 +84,30 @@ class DiscoveryStatistics:
             "nodes_processed": self.nodes_processed,
             "nodes_pruned": self.nodes_pruned,
             "levels_processed": self.levels_processed,
+            "nodes_per_level": dict(self.nodes_per_level),
             "timed_out": self.timed_out,
+            "cancelled": self.cancelled,
+            "validation_memo_hits": self.validation_memo_hits,
             "backend": self.backend,
             "batched": self.batched,
             "num_workers": self.num_workers,
             "oc_batches": self.oc_batches,
             "ofd_batches": self.ofd_batches,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DiscoveryStatistics":
+        """Rebuild statistics from :meth:`as_dict` output (the JSON service
+        boundary).  Derived fields are ignored; ``nodes_per_level`` keys are
+        restored to ``int`` (JSON object keys are strings)."""
+        known = {f.name for f in _stat_fields()}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        per_level = kwargs.get("nodes_per_level")
+        if per_level is not None:
+            kwargs["nodes_per_level"] = {
+                int(level): count for level, count in per_level.items()
+            }
+        return cls(**kwargs)
 
 
 class PhaseTimer:

@@ -1,0 +1,355 @@
+"""``repro serve`` — a stdlib-HTTP profiling service.
+
+The first real serving surface over the session API: the service keeps one
+long-lived :class:`~repro.discovery.session.Profiler` per loaded dataset,
+so every request after the first runs against warm state (encoded
+relation, partition cache, validation memo, worker pool).
+
+Endpoints (JSON in, JSON out; no dependencies beyond the stdlib):
+
+``GET /healthz``
+    ``{"status": "ok", "datasets": <count>}``.
+
+``GET /datasets``
+    The loaded datasets with row/attribute counts and warm-cache info.
+
+``POST /discover``
+    Body: ``{"dataset": <name>, "request": {<DiscoveryRequest fields>}}``.
+    ``dataset`` may be omitted when exactly one dataset is loaded.  Returns
+    the full :meth:`DiscoveryResult.to_dict` payload.  With
+    ``"stream": true`` the response is ``application/x-ndjson``: one line
+    per discovery event (``level_started`` / ``dependency_found`` /
+    ``level_completed``) and a final ``run_completed`` line carrying the
+    complete result — level results leave the server as soon as each
+    lattice level finishes, which is what lets a client overlap its own
+    processing with the remaining search.
+
+Concurrency: the HTTP server is threading, but runs against one dataset
+are serialised with a per-dataset lock (the session's warm caches are not
+thread-safe); different datasets profile concurrently.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Iterator, List, Optional
+
+from repro.dataset.relation import Relation
+from repro.discovery.config import DiscoveryRequest
+from repro.discovery.events import DiscoveryEvent
+from repro.discovery.results import DiscoveryResult
+from repro.discovery.session import Profiler
+
+
+class ServiceError(Exception):
+    """A client-facing error with an HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ProfilerService:
+    """A registry of named datasets, each backed by one warm session."""
+
+    def __init__(self, *, backend=None, num_workers: int = 1) -> None:
+        self._backend = backend
+        self._num_workers = num_workers
+        self._profilers: Dict[str, Profiler] = {}
+        self._locks: Dict[str, threading.Lock] = {}
+        self._pool = None
+
+    # -- dataset registry --------------------------------------------------------
+
+    def add_dataset(self, name: str, relation: Relation) -> Profiler:
+        """Register ``relation`` under ``name`` and build its session."""
+        if name in self._profilers:
+            raise ValueError(f"dataset {name!r} already loaded")
+        # One worker pool serves every dataset (its kernels are
+        # dataset-agnostic), spawned now while the process is still
+        # single-threaded: forking it lazily from a ThreadingHTTPServer
+        # handler thread could inherit locks held by concurrent threads.
+        if self._num_workers > 1 and self._pool is None:
+            from repro.validation.distributed import ShardedValidationPool
+            from repro.backend import resolve_backend
+
+            self._pool = ShardedValidationPool(
+                self._num_workers, backend=resolve_backend(self._backend)
+            )
+        profiler = Profiler(
+            relation, backend=self._backend, num_workers=self._num_workers,
+            shard_pool=self._pool,
+        )
+        self._profilers[name] = profiler
+        self._locks[name] = threading.Lock()
+        return profiler
+
+    @property
+    def dataset_names(self) -> List[str]:
+        return sorted(self._profilers)
+
+    def describe(self) -> List[Dict[str, object]]:
+        """Dataset summaries for ``GET /datasets``."""
+        described = []
+        for name in self.dataset_names:
+            profiler = self._profilers[name]
+            described.append({
+                "name": name,
+                "num_rows": profiler.relation.num_rows,
+                "attributes": profiler.relation.attribute_names,
+                "backend": profiler.backend.name,
+                "cache": profiler.cache_info(),
+            })
+        return described
+
+    # -- discovery ---------------------------------------------------------------
+
+    def _resolve(self, name: Optional[str]) -> str:
+        if name is None:
+            if len(self._profilers) == 1:
+                return next(iter(self._profilers))
+            raise ServiceError(
+                400,
+                "request must name a dataset "
+                f"(loaded: {self.dataset_names})",
+            )
+        if name not in self._profilers:
+            raise ServiceError(
+                404, f"unknown dataset {name!r} (loaded: {self.dataset_names})"
+            )
+        return name
+
+    def _check_request(self, request: DiscoveryRequest) -> None:
+        # Worker processes are a deployment concern (--workers on `repro
+        # serve`), not something a client may resize per request: honoring
+        # it would let any caller respawn — or arbitrarily grow — the
+        # server's warm process pool.  Two values are safe and accepted:
+        # the server's own setting (reuses the existing pool) and 1 (runs
+        # in-process, never touches the pool).  Served results only ever
+        # embed one of these in their request, so replaying a response's
+        # request always works.
+        if (request.num_workers is not None
+                and request.num_workers not in (1, self._num_workers)):
+            raise ServiceError(
+                400,
+                "num_workers is a server-side setting "
+                f"(this server runs {self._num_workers}; set it with "
+                "repro serve --workers); remove it from the request",
+            )
+
+    def discover(
+        self, dataset: Optional[str], request: DiscoveryRequest
+    ) -> DiscoveryResult:
+        """Run one discovery against the named dataset's warm session."""
+        name = self._resolve(dataset)
+        self._check_request(request)
+        with self._locks[name]:
+            return self._profilers[name].discover(request)
+
+    def iter_events(
+        self, dataset: Optional[str], request: DiscoveryRequest
+    ) -> Iterator[DiscoveryEvent]:
+        """Stream one discovery; the per-dataset lock is held until the
+        stream is exhausted (or closed).  Dataset resolution is eager so a
+        bad name fails before any event (and before HTTP headers go out)."""
+        name = self._resolve(dataset)
+        self._check_request(request)
+
+        def _generate() -> Iterator[DiscoveryEvent]:
+            with self._locks[name]:
+                yield from self._profilers[name].iter_events(request)
+
+        return _generate()
+
+    def close(self) -> None:
+        """Close every session and the shared worker pool."""
+        for profiler in self._profilers.values():
+            profiler.close()
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the :class:`ProfilerService`."""
+
+    # HTTP/1.0 keeps the streaming path simple: no chunked framing needed,
+    # the connection close terminates the NDJSON stream.
+    protocol_version = "HTTP/1.0"
+    server_version = "repro-serve"
+    # Socket-level timeout (reads AND writes).  Without it, a streaming
+    # client that stops reading blocks flush() forever while the handler
+    # holds the dataset lock, wedging all discovery on that dataset.  The
+    # timeout raises an OSError, which the disconnect guards treat as a
+    # routine client loss.  It does not bound computation: no socket I/O
+    # happens while a discovery level is running.
+    timeout = 300
+
+    # Populated by make_server().
+    service: ProfilerService = None  # type: ignore[assignment]
+    quiet = True
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    #: Upper bound on request bodies: requests are small JSON documents,
+    #: so anything past this is a client error, not a payload to buffer.
+    max_body_bytes = 1 << 20
+
+    def _read_body(self) -> Dict[str, object]:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ServiceError(400, "invalid Content-Length header")
+        if length < 0:
+            raise ServiceError(400, "invalid Content-Length header")
+        if length > self.max_body_bytes:
+            raise ServiceError(
+                400,
+                f"request body too large ({length} bytes; "
+                f"limit {self.max_body_bytes})",
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceError(400, f"invalid JSON body: {error}")
+        if not isinstance(body, dict):
+            raise ServiceError(400, "JSON body must be an object")
+        return body
+
+    # -- routes ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path in ("/", "/healthz"):
+                self._send_json(200, {
+                    "status": "ok",
+                    "datasets": len(self.service.dataset_names),
+                })
+            elif self.path == "/datasets":
+                self._send_json(200, {"datasets": self.service.describe()})
+            else:
+                self._send_error_json(404, f"unknown path {self.path!r}")
+        except OSError:
+            pass  # client went away mid-response: routine disconnect
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            self._handle_post()
+        except OSError:
+            pass  # client went away mid-response: routine disconnect
+
+    def _handle_post(self) -> None:
+        if self.path != "/discover":
+            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        try:
+            body = self._read_body()
+            dataset = body.get("dataset")
+            try:
+                request = DiscoveryRequest.from_dict(body.get("request") or {})
+            except (TypeError, ValueError) as error:
+                raise ServiceError(400, f"invalid discovery request: {error}")
+            stream = body.get("stream", False)
+            if not isinstance(stream, bool):
+                raise ServiceError(
+                    400, f"stream must be a JSON boolean, got {stream!r}"
+                )
+            if stream:
+                self._stream_discovery(dataset, request)
+            else:
+                result = self.service.discover(dataset, request)
+                self._send_json(200, result.to_dict())
+        except ServiceError as error:
+            self._send_error_json(error.status, str(error))
+        except (KeyError, ValueError) as error:
+            # e.g. attributes not in the relation (engine KeyError): a bad
+            # request, not a server fault — answer with JSON, don't let the
+            # handler thread die and drop the connection.
+            self._send_error_json(400, str(error))
+        except RuntimeError as error:
+            # Lifecycle faults (closed session/pool) are server-side: a
+            # 5xx tells the client to retry, not to fix its request.
+            self._send_error_json(500, str(error))
+
+    def _stream_discovery(
+        self, dataset: Optional[str], request: DiscoveryRequest
+    ) -> None:
+        # Bad dataset / bad request fail here, before any headers go out.
+        events = self.service.iter_events(dataset, request)
+        try:
+            first = next(events)
+        except (KeyError, ValueError) as error:
+            events.close()
+            raise ServiceError(400, str(error))
+        except RuntimeError as error:
+            events.close()
+            raise ServiceError(500, str(error))
+        except StopIteration:
+            first = None
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        try:
+            if first is not None:
+                self._write_event(first)
+            for event in events:
+                self._write_event(event)
+        except OSError:
+            # The client went away mid-stream (reset, broken pipe, timeout):
+            # a routine disconnect, not a server fault — stop quietly.
+            pass
+        except (KeyError, ValueError, RuntimeError) as error:
+            # Headers are gone; close the stream with an error line instead
+            # of silently dropping the connection.
+            try:
+                self.wfile.write(
+                    json.dumps({"event": "error", "error": str(error)},
+                               sort_keys=True).encode("utf-8") + b"\n"
+                )
+            except OSError:
+                pass
+        finally:
+            events.close()
+
+    def _write_event(self, event) -> None:
+        self.wfile.write(
+            json.dumps(event.to_dict(), sort_keys=True).encode("utf-8") + b"\n"
+        )
+        self.wfile.flush()
+
+
+def make_server(
+    service: ProfilerService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Build the HTTP server (``port=0`` picks a free port; the bound port
+    is ``server.server_address[1]``).  Call ``serve_forever()`` to run."""
+
+    class BoundHandler(_Handler):
+        pass
+
+    BoundHandler.service = service
+    BoundHandler.quiet = quiet
+    return ThreadingHTTPServer((host, port), BoundHandler)

@@ -130,6 +130,14 @@ class ShardedValidationPool:
     budget; the merged count for such a candidate is then a partial value
     above ``limit`` (permitted by the batch-kernel contract in
     ``repro.backend.base``).
+
+    The pool is a context manager and :meth:`close` is idempotent.  Its
+    owner is whoever constructed it: a
+    :class:`~repro.discovery.session.Profiler` session keeps one pool warm
+    across runs and closes it in ``Profiler.close()``; a standalone engine
+    spawns its own and shuts it down in the ``finally`` of its event
+    stream, so worker processes never outlive the run that needed them —
+    including runs that raise, get cancelled, or hit their time limit.
     """
 
     def __init__(self, num_workers: int, backend: BackendSpec = None) -> None:
@@ -139,7 +147,14 @@ class ShardedValidationPool:
 
         self.num_workers = num_workers
         self.backend = resolve_backend(backend)
-        self._executor = ProcessPoolExecutor(max_workers=num_workers)
+        self._executor: Optional[object] = ProcessPoolExecutor(
+            max_workers=num_workers
+        )
+
+    @property
+    def closed(self) -> bool:
+        """Whether the worker processes have been shut down."""
+        return self._executor is None
 
     def oc_counts_batch(
         self,
@@ -148,6 +163,8 @@ class ShardedValidationPool:
         limit: Optional[int] = None,
     ) -> List[Tuple[int, bool]]:
         """Batched minimal-removal counts, sharded across the pool."""
+        if self._executor is None:
+            raise RuntimeError("ShardedValidationPool is closed")
         num_pairs = len(rank_pairs)
         if num_pairs == 0:
             return []
@@ -190,8 +207,10 @@ class ShardedValidationPool:
         return list(zip(totals, exceeded))
 
     def close(self) -> None:
-        """Shut the worker processes down."""
-        self._executor.shutdown()
+        """Shut the worker processes down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
 
     def __enter__(self) -> "ShardedValidationPool":
         return self

@@ -1,4 +1,4 @@
-"""Tests for the repro-discover command-line interface."""
+"""Tests for the ``repro`` command-line interface (subcommands + legacy)."""
 
 import pytest
 
@@ -8,70 +8,156 @@ from repro.dataset.examples import employee_salary_table
 
 
 class TestParser:
-    def test_defaults(self):
-        args = build_parser().parse_args(["data.csv"])
+    def test_discover_defaults(self):
+        args = build_parser().parse_args(["discover", "data.csv"])
+        assert args.command == "discover"
         assert args.csv == "data.csv"
         assert args.threshold == 0.1
         assert args.validator == "optimal"
         assert not args.exact
 
-    def test_flags(self):
+    def test_discover_flags(self):
         args = build_parser().parse_args(
-            ["--demo", "--exact", "--max-level", "3", "--attributes", "a", "b"]
+            ["discover", "--demo", "--exact", "--max-level", "3",
+             "--attributes", "a", "b"]
         )
         assert args.demo and args.exact
         assert args.max_level == 3
         assert args.attributes == ["a", "b"]
 
-    def test_scheduling_flags(self):
-        args = build_parser().parse_args(["data.csv"])
+    def test_discover_scheduling_flags(self):
+        args = build_parser().parse_args(["discover", "data.csv"])
         assert args.workers == 1 and not args.no_batch
-        args = build_parser().parse_args(["data.csv", "--workers", "4",
-                                          "--no-batch"])
+        args = build_parser().parse_args(
+            ["discover", "data.csv", "--workers", "4", "--no-batch"]
+        )
         assert args.workers == 4 and args.no_batch
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "data.csv"])
+        assert args.command == "sweep"
+        assert args.thresholds == [0.0, 0.05, 0.10, 0.15, 0.20, 0.25]
 
-class TestMain:
-    def test_demo_run(self, capsys):
+    def test_sweep_thresholds(self):
+        args = build_parser().parse_args(
+            ["sweep", "--demo", "--thresholds", "0.05", "0.1"]
+        )
+        assert args.thresholds == [0.05, 0.1]
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "a.csv", "b.csv", "--port", "0", "--workers", "2"]
+        )
+        assert args.command == "serve"
+        assert args.csv == ["a.csv", "b.csv"]
+        assert args.port == 0 and args.workers == 2
+
+
+class TestLegacyForm:
+    """The historical ``repro-discover data.csv ...`` syntax keeps working."""
+
+    def test_legacy_demo_run(self, capsys):
         assert main(["--demo", "--threshold", "0.15", "--top", "3"]) == 0
         output = capsys.readouterr().out
         assert "Discovery mode: approximate" in output
         assert "order compatibilities" in output
 
-    def test_demo_exact_run(self, capsys):
-        assert main(["--demo", "--exact"]) == 0
+    def test_legacy_csv_first_argument(self, tmp_path, capsys):
+        path = tmp_path / "employees.csv"
+        write_csv(employee_salary_table(), path)
+        assert main([str(path), "--threshold", "0.15"]) == 0
+        assert "Discovered:" in capsys.readouterr().out
+
+    def test_legacy_bare_invocation_is_an_error_not_a_crash(self, capsys):
+        assert main([]) == 2
+        assert "provide a CSV file or --demo" in capsys.readouterr().err
+
+
+class TestDiscoverCommand:
+    def test_demo_run(self, capsys):
+        assert main(["discover", "--demo", "--threshold", "0.15",
+                     "--top", "3"]) == 0
         output = capsys.readouterr().out
-        assert "Discovery mode: exact" in output
+        assert "Discovery mode: approximate" in output
+        assert "order compatibilities" in output
+
+    def test_demo_exact_run(self, capsys):
+        assert main(["discover", "--demo", "--exact"]) == 0
+        assert "Discovery mode: exact" in capsys.readouterr().out
 
     def test_csv_input(self, tmp_path, capsys):
         path = tmp_path / "employees.csv"
         write_csv(employee_salary_table(), path)
-        code = main([str(path), "--threshold", "0.15", "--attributes",
-                     "pos", "exp", "sal", "taxGrp"])
+        code = main(["discover", str(path), "--threshold", "0.15",
+                     "--attributes", "pos", "exp", "sal", "taxGrp"])
         assert code == 0
-        output = capsys.readouterr().out
-        assert "Discovered:" in output
+        assert "Discovered:" in capsys.readouterr().out
 
     def test_outliers_flag(self, capsys):
-        assert main(["--demo", "--threshold", "0.2", "--outliers"]) == 0
-        output = capsys.readouterr().out
-        assert "suspicious tuples" in output
+        assert main(["discover", "--demo", "--threshold", "0.2",
+                     "--outliers"]) == 0
+        assert "suspicious tuples" in capsys.readouterr().out
 
     def test_missing_input_is_an_error(self, capsys):
-        assert main([]) == 2
+        assert main(["discover"]) == 2
         assert "provide a CSV file or --demo" in capsys.readouterr().err
 
     def test_iterative_validator(self, capsys):
-        assert main(["--demo", "--validator", "iterative"]) == 0
+        assert main(["discover", "--demo", "--validator", "iterative"]) == 0
 
     def test_no_batch_run(self, capsys):
-        assert main(["--demo", "--threshold", "0.15", "--no-batch"]) == 0
+        assert main(["discover", "--demo", "--threshold", "0.15",
+                     "--no-batch"]) == 0
         assert "Discovered:" in capsys.readouterr().out
 
     def test_workers_run(self, capsys):
-        assert main(["--demo", "--threshold", "0.15", "--workers", "2"]) == 0
+        assert main(["discover", "--demo", "--threshold", "0.15",
+                     "--workers", "2"]) == 0
         assert "Discovered:" in capsys.readouterr().out
 
     def test_workers_without_batching_is_an_error(self, capsys):
-        assert main(["--demo", "--workers", "2", "--no-batch"]) == 2
+        assert main(["discover", "--demo", "--workers", "2",
+                     "--no-batch"]) == 2
         assert "batch_validation" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_demo_sweep(self, capsys):
+        assert main(["sweep", "--demo", "--thresholds", "0.05", "0.1",
+                     "0.15"]) == 0
+        output = capsys.readouterr().out
+        assert "threshold" in output
+        assert "Warm session: 3 thresholds" in output
+        assert "memoised validations" in output
+
+    def test_sweep_missing_input_is_an_error(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "provide a CSV file or --demo" in capsys.readouterr().err
+
+    def test_sweep_csv(self, tmp_path, capsys):
+        path = tmp_path / "employees.csv"
+        write_csv(employee_salary_table(), path)
+        assert main(["sweep", str(path), "--thresholds", "0.1", "0.2",
+                     "--max-level", "2"]) == 0
+        assert "Warm session: 2 thresholds" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_requires_a_dataset(self, capsys):
+        assert main(["serve"]) == 2
+        assert "at least one CSV file or --demo" in capsys.readouterr().err
+
+
+class TestAmbiguousNames:
+    def test_csv_named_like_a_subcommand_warns(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write_csv(employee_salary_table(), tmp_path / "sweep")
+        # The subcommand wins, but the user is told how to reach the file.
+        assert main(["sweep", "--demo", "--thresholds", "0.1"]) == 0
+        assert "interpreting 'sweep' as the subcommand" in (
+            capsys.readouterr().err
+        )
+        # Explicit disambiguation profiles the file.
+        assert main(["discover", "sweep", "--threshold", "0.15"]) == 0
+        assert "Discovered:" in capsys.readouterr().out

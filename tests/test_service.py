@@ -1,0 +1,220 @@
+"""Smoke tests for the ``repro serve`` HTTP mode over loopback requests."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.dataset.examples import employee_salary_table
+from repro.discovery.api import discover_aods
+from repro.discovery.config import DiscoveryRequest
+from repro.discovery.results import DiscoveryResult
+from repro.service import ProfilerService, ServiceError, make_server
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    service = ProfilerService()
+    service.add_dataset("demo", employee_salary_table())
+    server = make_server(service, host="127.0.0.1", port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{port}"
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, response.read()
+
+
+class TestEndpoints:
+    def test_healthz(self, server_url):
+        status, payload = _get(server_url + "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "datasets": 1}
+
+    def test_datasets_listing(self, server_url):
+        status, payload = _get(server_url + "/datasets")
+        assert status == 200
+        (dataset,) = payload["datasets"]
+        assert dataset["name"] == "demo"
+        assert dataset["num_rows"] == 9
+        assert "cache" in dataset
+
+    def test_discover_matches_library_api(self, server_url):
+        status, body = _post(server_url + "/discover", {
+            "dataset": "demo", "request": {"threshold": 0.15},
+        })
+        assert status == 200
+        served = DiscoveryResult.from_json(body.decode("utf-8"))
+        reference = discover_aods(employee_salary_table(), threshold=0.15)
+        assert served.ocs == reference.ocs
+        assert served.ofds == reference.ofds
+
+    def test_dataset_defaulting_with_single_dataset(self, server_url):
+        status, body = _post(server_url + "/discover",
+                             {"request": {"threshold": 0.15}})
+        assert status == 200
+        assert json.loads(body)["num_rows"] == 9
+
+    def test_streaming_ndjson(self, server_url):
+        request = urllib.request.Request(
+            server_url + "/discover",
+            data=json.dumps({
+                "request": {"threshold": 0.15}, "stream": True,
+            }).encode("utf-8"),
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.headers["Content-Type"] == "application/x-ndjson"
+            lines = [json.loads(line) for line in response.read().splitlines()]
+        assert lines[0]["event"] == "level_started"
+        assert lines[-1]["event"] == "run_completed"
+        found = [l for l in lines if l["event"] == "dependency_found"]
+        final = lines[-1]["result"]
+        assert len(found) == len(final["ocs"]) + len(final["ofds"])
+
+    def test_unknown_dataset_is_404(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server_url + "/discover",
+                  {"dataset": "nope", "request": {}})
+        assert excinfo.value.code == 404
+        assert "unknown dataset" in json.loads(excinfo.value.read())["error"]
+
+    def test_bad_request_is_400(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server_url + "/discover",
+                  {"dataset": "demo", "request": {"threshold": 5.0}})
+        assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server_url + "/discover",
+                  {"dataset": "demo", "request": {"bogus_field": 1}})
+        assert excinfo.value.code == 400
+
+    def test_engine_errors_become_400_not_dropped_connections(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server_url + "/discover", {
+                "dataset": "demo",
+                "request": {"threshold": 0.1, "attributes": ["nope"]},
+            })
+        assert excinfo.value.code == 400
+        assert "nope" in json.loads(excinfo.value.read())["error"]
+
+    def test_request_num_workers_rejected(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server_url + "/discover", {
+                "dataset": "demo",
+                "request": {"threshold": 0.1, "num_workers": 64},
+            })
+        assert excinfo.value.code == 400
+        assert "server-side" in json.loads(excinfo.value.read())["error"]
+
+    def test_unbatched_result_replays_cleanly(self):
+        """A multi-worker server's non-batched results embed num_workers=1;
+        replaying that request must be accepted (it never touches the pool)."""
+        service = ProfilerService(num_workers=2)
+        service.add_dataset("demo", employee_salary_table())
+        try:
+            result = service.discover("demo", DiscoveryRequest(
+                threshold=0.15, batch_validation=False
+            ))
+            echoed = DiscoveryRequest.from_dict(result.to_dict()["request"])
+            assert echoed.num_workers == 1
+            replay = service.discover("demo", echoed)
+            assert replay.ocs == result.ocs
+            with pytest.raises(ServiceError):
+                service.discover("demo", DiscoveryRequest(
+                    threshold=0.15, num_workers=3
+                ))
+        finally:
+            service.close()
+
+    def test_non_boolean_stream_flag_rejected(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server_url + "/discover", {
+                "dataset": "demo",
+                "request": {"threshold": 0.15}, "stream": "false",
+            })
+        assert excinfo.value.code == 400
+        assert "boolean" in json.loads(excinfo.value.read())["error"]
+
+    def test_served_request_replays_cleanly(self, server_url):
+        """A request dict copied from a served result must be accepted
+        (results embed the server's own num_workers)."""
+        _, body = _post(server_url + "/discover",
+                        {"dataset": "demo", "request": {"threshold": 0.15}})
+        echoed = json.loads(body)["request"]
+        assert echoed["num_workers"] is not None
+        status, body = _post(server_url + "/discover",
+                             {"dataset": "demo", "request": echoed})
+        assert status == 200
+
+    def test_unknown_path_is_404(self, server_url):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server_url + "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestProfilerService:
+    def test_duplicate_dataset_rejected(self):
+        service = ProfilerService()
+        service.add_dataset("t", employee_salary_table())
+        with pytest.raises(ValueError, match="already loaded"):
+            service.add_dataset("t", employee_salary_table())
+        service.close()
+
+    def test_resolution_errors(self):
+        service = ProfilerService()
+        with pytest.raises(ServiceError) as excinfo:
+            service.discover(None, DiscoveryRequest())
+        assert excinfo.value.status == 400
+        service.add_dataset("a", employee_salary_table())
+        service.add_dataset("b", employee_salary_table())
+        with pytest.raises(ServiceError) as excinfo:
+            service.discover(None, DiscoveryRequest())
+        assert excinfo.value.status == 400  # ambiguous without a name
+        with pytest.raises(ServiceError) as excinfo:
+            service.discover("c", DiscoveryRequest())
+        assert excinfo.value.status == 404
+        service.close()
+
+    def test_datasets_share_one_worker_pool(self):
+        service = ProfilerService(num_workers=2)
+        a = service.add_dataset("a", employee_salary_table())
+        b = service.add_dataset("b", employee_salary_table())
+        pool = service._pool
+        assert pool is not None and not pool.closed
+        assert a._pool is pool and b._pool is pool
+        # Sessions never close the shared pool; the service does.
+        a.close()
+        assert not pool.closed
+        result = service.discover("b", DiscoveryRequest(threshold=0.15))
+        assert result.num_ocs > 0
+        service.close()
+        assert pool.closed
+
+    def test_warm_across_requests(self):
+        service = ProfilerService()
+        service.add_dataset("demo", employee_salary_table())
+        first = service.discover("demo", DiscoveryRequest(threshold=0.15))
+        second = service.discover("demo", DiscoveryRequest(threshold=0.15))
+        assert second.ocs == first.ocs
+        assert first.stats.validation_memo_hits == 0
+        assert second.stats.validation_memo_hits > 0
+        service.close()
