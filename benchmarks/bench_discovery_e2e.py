@@ -24,7 +24,11 @@ from pathlib import Path
 import pytest
 
 from repro.backend import available_backends
-from repro.benchlib.harness import measure_discovery, measure_sweep
+from repro.benchlib.harness import (
+    measure_discovery,
+    measure_incremental,
+    measure_sweep,
+)
 from repro.dataset.generators import generate_flight_like
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "").strip() not in ("", "0")
@@ -101,6 +105,35 @@ def test_sweep_cold_vs_warm(relation):
         assert measurement.speedup >= 2.0, measurement.as_row()
 
 
+INCREMENTAL_RESULT = {}
+#: Appended rows: ≤1% of the workload (the ISSUE-4 acceptance point).
+DELTA_ROWS = max(4, NUM_ROWS // 100)
+
+
+def test_incremental_vs_cold(relation):
+    """Evolving-data acceptance: after appending a small delta (≤1% of
+    rows), ``Profiler.extend`` + ``discover_incremental`` must reproduce
+    the cold result over the concatenated table byte-identically — and
+    beat it on wall clock."""
+    donor = generate_flight_like(
+        NUM_ROWS + DELTA_ROWS, num_attributes=NUM_ATTRIBUTES,
+        error_rate=0.08, seed=13,
+    ).relation
+    delta_rows = [
+        donor.row(index) for index in range(NUM_ROWS, NUM_ROWS + DELTA_ROWS)
+    ]
+    measurement = measure_incremental(
+        relation, delta_rows, threshold=THRESHOLD, backend=SWEEP_BACKEND
+    )
+    INCREMENTAL_RESULT["incremental"] = measurement
+    assert measurement.incremental_result.ocs == measurement.cold_result.ocs
+    assert measurement.incremental_result.ofds == measurement.cold_result.ofds
+    assert measurement.memo_hits > 0
+    if not QUICK:
+        # The ISSUE-4 acceptance bar at the full 16k-row workload.
+        assert measurement.speedup >= 2.0, measurement.as_row()
+
+
 def _signature(measurement):
     """The discovered dependency sets: names, removal sizes, levels."""
     result = measurement.result
@@ -144,6 +177,9 @@ def _report(figure_report):
     sweep = SWEEP_RESULT.get("sweep")
     if sweep is not None:
         payload["sweep"] = sweep.as_row() | {"rows": NUM_ROWS}
+    incremental = INCREMENTAL_RESULT.get("incremental")
+    if incremental is not None:
+        payload["incremental"] = incremental.as_row()
     (results_dir / "BENCH_discovery.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
@@ -173,6 +209,17 @@ def _report(figure_report):
                 f"{sweep.warm_seconds:.3f}s = {sweep.speedup:.2f}x"
             ]
             if sweep is not None
+            else []
+        )
+        + (
+            [
+                f"incremental append of {incremental.delta_rows} rows "
+                f"({incremental.backend}): cold "
+                f"{incremental.cold_seconds:.3f}s vs incremental "
+                f"{incremental.incremental_seconds:.3f}s = "
+                f"{incremental.speedup:.2f}x"
+            ]
+            if incremental is not None
             else []
         ),
     )

@@ -47,6 +47,15 @@ The package is organised as follows:
     partitions, LNDS validation kernels): a pure-Python reference and a
     vectorised NumPy implementation with identical semantics, selected via
     ``--backend`` / ``REPRO_BACKEND`` / :func:`repro.backend.resolve_backend`.
+
+``repro.incremental``
+    Incremental maintenance of discovered dependency sets under row
+    appends: delta encoding, per-context partition patching, per-class
+    repair of memoised validation outcomes, and the
+    :class:`~repro.incremental.IncrementalEngine` that classifies and
+    revalidates only what a delta can have changed — byte-identical to
+    cold rediscovery (``Profiler.extend`` / ``discover_incremental``,
+    ``repro extend``, ``POST /datasets/<name>/append``).
 """
 
 from repro.backend import available_backends, get_backend, resolve_backend

@@ -208,6 +208,121 @@ def measure_sweep(
     )
 
 
+@dataclass
+class IncrementalMeasurement:
+    """Incremental-vs-cold comparison after a row append.
+
+    ``incremental_seconds`` times :meth:`Profiler.extend` plus
+    :meth:`Profiler.discover_incremental` on a warm session;
+    ``cold_seconds`` times what the pre-incremental world had to do
+    instead — a from-scratch session over the concatenated table (encoding,
+    partitions, every validation) running one discovery.
+    """
+
+    base_rows: int
+    delta_rows: int
+    threshold: float
+    cold_seconds: float
+    incremental_seconds: float
+    cold_result: DiscoveryResult
+    incremental_result: DiscoveryResult
+    num_revoked: int
+    num_added: int
+    memo_hits: int
+    backend: str = "python"
+
+    @property
+    def speedup(self) -> float:
+        """How much faster the incremental path re-established the result."""
+        if self.incremental_seconds <= 0:
+            return float("inf")
+        return self.cold_seconds / self.incremental_seconds
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten to a dict for the reporting tables / JSON artifacts."""
+        return {
+            "base_rows": self.base_rows,
+            "delta_rows": self.delta_rows,
+            "threshold": self.threshold,
+            "backend": self.backend,
+            "cold_seconds": round(self.cold_seconds, 4),
+            "incremental_seconds": round(self.incremental_seconds, 4),
+            "speedup": round(self.speedup, 2),
+            "revoked": self.num_revoked,
+            "added": self.num_added,
+            "memo_hits": self.memo_hits,
+        }
+
+
+def measure_incremental(
+    base_relation: Relation,
+    delta_rows: Sequence[Sequence[object]],
+    threshold: float = 0.1,
+    validator: str = "optimal",
+    attributes: Optional[Sequence[str]] = None,
+    max_level: Optional[int] = None,
+    backend: Optional[str] = None,
+    num_workers: int = 1,
+) -> IncrementalMeasurement:
+    """Time incremental maintenance against a cold re-discovery.
+
+    A warm session first discovers over ``base_relation`` (untimed — that
+    is the state any long-lived session already has), then the appended
+    rows arrive: the incremental leg times ``extend`` +
+    ``discover_incremental``; the cold leg times a fresh one-shot session
+    over the concatenated table.  Equality of the two results is the
+    caller's assertion to make.
+    """
+    request = DiscoveryRequest(
+        threshold=threshold,
+        validator=validator,
+        attributes=None if attributes is None else list(attributes),
+        max_level=max_level,
+    )
+    delta_rows = [list(row) for row in delta_rows]
+
+    with Profiler(
+        base_relation, backend=backend, num_workers=num_workers
+    ) as session:
+        session.discover(request)  # the warm baseline (untimed)
+        incremental_start = time.perf_counter()
+        session.extend(delta_rows)
+        outcome = session.discover_incremental(request)
+        incremental_seconds = time.perf_counter() - incremental_start
+        extended_relation = session.relation
+
+    delta_relation = Relation(
+        base_relation.schema,
+        {
+            name: [row[index] for row in delta_rows]
+            for index, name in enumerate(base_relation.attribute_names)
+        },
+    )
+    concatenated = base_relation.concat(delta_relation)
+    cold_start = time.perf_counter()
+    with Profiler(
+        concatenated, backend=backend, num_workers=num_workers,
+        cache_validations=False, retain_partitions=False,
+    ) as cold_session:
+        cold_result = cold_session.discover(request)
+    cold_seconds = time.perf_counter() - cold_start
+
+    assert extended_relation.num_rows == concatenated.num_rows
+    return IncrementalMeasurement(
+        base_rows=base_relation.num_rows,
+        delta_rows=len(delta_rows),
+        threshold=threshold,
+        cold_seconds=cold_seconds,
+        incremental_seconds=incremental_seconds,
+        cold_result=cold_result,
+        incremental_result=outcome.result,
+        num_revoked=outcome.num_revoked,
+        num_added=outcome.num_added,
+        memo_hits=outcome.result.stats.validation_memo_hits,
+        backend=outcome.result.stats.backend,
+    )
+
+
 def run_sweep(
     relation_factory: Callable[[object], Relation],
     sweep_values: Iterable[object],

@@ -11,9 +11,18 @@ input.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.dataset.schema import AttributeType, Schema
+
+#: Per-column outcome of :meth:`EncodedRelation.extend`: ``"appended"`` when
+#: every delta value reused an existing code or extended the dictionary past
+#: its current maximum (existing codes untouched), ``"remapped"`` when a
+#: delta value sorts into the middle of the dictionary and the whole column
+#: was re-encoded (codes change, but only by an order-preserving bijection,
+#: so partitions and validation outcomes are unaffected).
+EXTEND_APPENDED = "appended"
+EXTEND_REMAPPED = "remapped"
 
 
 def _sort_key(value: object, attr_type: AttributeType):
@@ -140,6 +149,114 @@ class EncodedRelation:
             backend=backend,
             native_columns=natives,
         )
+
+    # -- delta encoding ---------------------------------------------------------
+
+    def extend(
+        self, columns: Mapping[str, Sequence[object]]
+    ) -> Tuple["EncodedRelation", Dict[str, str]]:
+        """Delta-encode appended rows into a new, larger encoding.
+
+        ``columns`` maps every schema attribute to the list of appended cell
+        values (all the same length).  Returns ``(extended, modes)`` where
+        ``extended`` is a fresh :class:`EncodedRelation` over the
+        concatenated rows and ``modes`` maps each attribute to
+        :data:`EXTEND_APPENDED` or :data:`EXTEND_REMAPPED`.
+
+        The fast path appends: a delta value that already has a code reuses
+        it, and genuinely new values whose sort keys are >= the current
+        dictionary maximum are appended to the dictionary with fresh codes,
+        so every existing code stays valid.  A new value that sorts into the
+        middle of the dictionary forces a remap of that one column — a full
+        re-encode of the concatenated values.  Either way the result is
+        byte-identical, rank for rank, to encoding the concatenated relation
+        from scratch (the remap reconstructs raw values from the dictionary,
+        which stores each distinct value's first occurrence).
+
+        ``self`` is left untouched; callers swap in the returned encoding.
+        """
+        missing = [a.name for a in self.schema if a.name not in columns]
+        extra = sorted(set(columns) - set(self.schema.names))
+        if missing or extra:
+            raise ValueError(
+                f"delta columns do not match schema "
+                f"(missing={missing}, unexpected={extra})"
+            )
+        lengths = {len(columns[name]) for name in self.schema.names}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"delta columns have inconsistent lengths: {sorted(lengths)}"
+            )
+        num_new = lengths.pop() if lengths else 0
+        rank_columns: List[Optional[List[int]]] = []
+        dictionaries: List[List[object]] = []
+        natives: List[object] = []
+        modes: Dict[str, str] = {}
+        for index, attribute in enumerate(self.schema):
+            ranks, dictionary, native, mode = self._extend_column(
+                index, columns[attribute.name], attribute.type
+            )
+            rank_columns.append(ranks)
+            dictionaries.append(dictionary)
+            natives.append(native)
+            modes[attribute.name] = mode
+        extended = EncodedRelation(
+            self.schema,
+            rank_columns,
+            dictionaries,
+            self.num_rows + num_new,
+            backend=self.backend,
+            native_columns=natives,
+        )
+        return extended, modes
+
+    def _extend_column(
+        self, index: int, new_values: Sequence[object], attr_type: AttributeType
+    ):
+        """Delta-encode one column; see :meth:`extend` for the contract."""
+        old_ranks = self.ranks_by_index(index)
+        dictionary = self._dictionaries[index]
+        rank_of = {value: code for code, value in enumerate(dictionary)}
+        # Dict membership gives the same dedup semantics as the reference
+        # encoder's `distinct` dict (1 and True are one value).
+        seen_new: Dict[object, None] = {}
+        new_distinct: List[object] = []
+        for value in new_values:
+            if value not in rank_of and value not in seen_new:
+                seen_new[value] = None
+                new_distinct.append(value)
+        appendable = not new_distinct
+        if new_distinct:
+            if any(value is None for value in new_distinct) or not dictionary:
+                appendable = False
+            else:
+                last = dictionary[-1]
+                if last is None:
+                    appendable = True  # dictionary is [None]: anything appends
+                else:
+                    max_key = _sort_key(last, attr_type)
+                    appendable = all(
+                        _sort_key(value, attr_type) >= max_key
+                        for value in new_distinct
+                    )
+        if appendable:
+            if new_distinct:
+                ordered = sorted(
+                    new_distinct, key=lambda v: _sort_key(v, attr_type)
+                )
+                dictionary = dictionary + ordered
+                for value in ordered:
+                    rank_of.setdefault(value, len(rank_of))
+            ranks = old_ranks + [rank_of[value] for value in new_values]
+            return ranks, dictionary, None, EXTEND_APPENDED
+        # Remap: re-encode the whole column.  The dictionary stores each
+        # distinct value's first occurrence, so reconstructing old values
+        # through it reproduces the exact sequence a cold encoder would see.
+        reconstructed = [dictionary[code] for code in old_ranks]
+        ranks, new_dictionary, native = self.backend.encode_column(
+            reconstructed + list(new_values), attr_type
+        )
+        return ranks, new_dictionary, native, EXTEND_REMAPPED
 
     # -- accessors -------------------------------------------------------------
 

@@ -15,7 +15,19 @@ which is linear in the number of tuples appearing in the stripped classes.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.caching import BoundedLRU
 
 
 class Partition:
@@ -71,6 +83,20 @@ class Partition:
         for row, key in enumerate(keys):
             groups.setdefault(key, []).append(row)
         return cls(list(groups.values()), len(keys))
+
+    @classmethod
+    def _from_sorted_classes(
+        cls, classes: List[List[int]], num_rows: int
+    ) -> "Partition":
+        """Internal fast path: adopt class lists whose rows are already
+        sorted ascending and all of length >= 2, skipping the per-class
+        normalisation (the delta-patching path produces exactly this)."""
+        partition = cls.__new__(cls)
+        classes.sort(key=lambda rows: rows[0])
+        partition.classes = classes
+        partition.num_rows = num_rows
+        partition._columnar = None
+        return partition
 
     # -- properties ------------------------------------------------------------
 
@@ -178,6 +204,41 @@ class Partition:
         return True
 
 
+class DeltaPatches:
+    """Outcome of :meth:`PartitionCache.apply_delta`.
+
+    ``affected`` — keys whose stripped classes changed; ``class_patches``
+    maps each of them to ``(removed, added)`` class lists (what the delta
+    replaced); ``dropped`` — keys evicted because nothing was left to patch
+    them from.
+    """
+
+    __slots__ = ("affected", "dropped", "class_patches")
+
+    def __init__(self) -> None:
+        self.affected: Set[FrozenSet[int]] = set()
+        self.dropped: Set[FrozenSet[int]] = set()
+        self.class_patches: Dict[
+            FrozenSet[int], Tuple[List[List[int]], List[List[int]]]
+        ] = {}
+
+
+def _class_diff(
+    old_classes: Sequence[Sequence[int]], new_classes: Sequence[Sequence[int]]
+) -> Tuple[List[List[int]], List[List[int]]]:
+    """Symmetric difference of two class lists: ``(removed, added)``.
+
+    Classes that survive a delta untouched appear in both lists and drop
+    out, so downstream repair only ever re-runs kernels on classes whose
+    membership genuinely changed.
+    """
+    old_set = {tuple(rows) for rows in old_classes}
+    new_set = {tuple(rows) for rows in new_classes}
+    removed = [list(rows) for rows in old_classes if tuple(rows) not in new_set]
+    added = [list(rows) for rows in new_classes if tuple(rows) not in old_set]
+    return removed, added
+
+
 class PartitionCache:
     """Cache of partitions keyed by attribute-index sets.
 
@@ -190,9 +251,18 @@ class PartitionCache:
     (defaulting to the encoded relation's); every backend produces
     identical :class:`Partition` objects, so cache contents are
     backend-agnostic.
+
+    ``max_entries`` bounds the number of retained partitions with LRU
+    eviction (``None`` — the default — retains everything): long-lived
+    sessions over wide schemas use it to cap the cache's O(rows)-per-context
+    memory.  Evicted partitions are rebuilt on demand, so results never
+    change; only :meth:`apply_delta`'s ability to patch (rather than drop)
+    an entry depends on what is still cached.
     """
 
-    def __init__(self, encoded_relation, backend=None) -> None:
+    def __init__(
+        self, encoded_relation, backend=None, max_entries: Optional[int] = None
+    ) -> None:
         from repro.backend import resolve_backend
 
         self._encoded = encoded_relation
@@ -200,7 +270,7 @@ class PartitionCache:
             backend if backend is not None
             else getattr(encoded_relation, "backend", None)
         )
-        self._cache: Dict[FrozenSet[int], Partition] = {}
+        self._cache: BoundedLRU = BoundedLRU(max_entries)
         self._hits = 0
         self._misses = 0
 
@@ -215,12 +285,17 @@ class PartitionCache:
 
     @property
     def stats(self) -> Dict[str, int]:
-        """Cache statistics (``hits``, ``misses``, ``entries``)."""
+        """Cache statistics (``hits``, ``misses``, ``entries``, ``evictions``)."""
         return {
             "hits": self._hits,
             "misses": self._misses,
             "entries": len(self._cache),
+            "evictions": self._cache.evictions,
         }
+
+    def cached_keys(self) -> Iterator[FrozenSet[int]]:
+        """Iterate over the attribute-index sets currently cached."""
+        return iter(list(self._cache))
 
     def get(self, attribute_indices: Iterable[int]) -> Partition:
         """Return ``Pi_X`` for the attribute-index set ``attribute_indices``."""
@@ -283,3 +358,158 @@ class PartitionCache:
         """
         for key in [k for k in self._cache if 0 < len(k) < level]:
             del self._cache[key]
+
+    # -- incremental maintenance -------------------------------------------------
+
+    def apply_delta(self, encoded_relation, old_num_rows: int) -> "DeltaPatches":
+        """Rebind to an extended encoding and patch every cached partition.
+
+        ``encoded_relation`` is the delta-encoded relation produced by
+        :meth:`~repro.dataset.encoding.EncodedRelation.extend` (same schema,
+        ``num_rows >= old_num_rows``).  Every cached partition is brought up
+        to the new row count by a per-context merge: contexts are processed
+        smallest-first, and a context ``X`` reuses the already-patched
+        partition of a cached proper subset ``B`` — only ``B``-classes that
+        contain an appended row can gain or change ``X``-classes (appending
+        rows never splits an equivalence class), so only those classes are
+        re-split on ``X \\ B``.  No full rebuild, and the stripped-away old
+        singletons never need scanning: any old singleton that an appended
+        row joins is already inside one of the touched ``B``-classes.
+
+        The returned :class:`DeltaPatches` says per key what changed:
+        ``affected`` holds the keys whose *stripped classes* changed (their
+        validation outcomes may differ), with ``class_patches`` recording
+        exactly which classes disappeared and which replaced them — every
+        kernel is class-additive, so memoised counts for affected contexts
+        can be *adjusted* by re-running kernels on just those classes (see
+        :mod:`repro.incremental.repair`).  ``dropped`` holds keys that had
+        to be evicted because no cached subset was left to patch from
+        (their effect on validations is unknown, so callers must treat them
+        as affected without a patch).  Keys in neither set kept identical
+        class lists, so memoised removal counts for them remain exact; the
+        re-encoded rank columns only ever differ from the old ones by an
+        order-preserving bijection, which no kernel can observe.
+        """
+        new_num_rows = encoded_relation.num_rows
+        if new_num_rows < old_num_rows:
+            raise ValueError(
+                f"apply_delta only supports appends: {old_num_rows} rows "
+                f"cannot shrink to {new_num_rows}"
+            )
+        self._encoded = encoded_relation
+        patches = DeltaPatches()
+        if new_num_rows == old_num_rows:
+            return patches
+        by_size: Dict[int, List[FrozenSet[int]]] = {}
+        for key in self._cache:
+            by_size.setdefault(len(key), []).append(key)
+        for key in sorted(self._cache, key=len):
+            old_partition = self._cache[key]
+            if len(key) <= 1:
+                if not key:
+                    patched = Partition.unit(new_num_rows)
+                else:
+                    (index,) = key
+                    patched = self._backend.partition_single(
+                        self._native_ranks(index), new_num_rows
+                    )
+                removed, added = _class_diff(
+                    old_partition.classes, patched.classes
+                )
+            else:
+                base_key = self._best_patch_base(key, by_size, patches.dropped)
+                if base_key is None:
+                    del self._cache[key]
+                    patches.dropped.add(key)
+                    continue
+                patched, removed, added = self._patch_from_base(
+                    key, base_key, old_partition, old_num_rows, new_num_rows
+                )
+            self._cache[key] = patched
+            if removed or added:
+                patches.affected.add(key)
+                patches.class_patches[key] = (removed, added)
+        return patches
+
+    def _best_patch_base(
+        self,
+        key: FrozenSet[int],
+        by_size: Dict[int, List[FrozenSet[int]]],
+        dropped: Set[FrozenSet[int]],
+    ) -> Optional[FrozenSet[int]]:
+        """Largest cached, already-patched proper subset of ``key``.
+
+        ``by_size`` indexes the cached keys by length, so the search walks
+        the largest candidate subsets first and stops at the first hit
+        instead of scanning the whole cache per key (smaller-first
+        processing guarantees every smaller key is already patched).
+        """
+        for size in range(len(key) - 1, -1, -1):
+            for cached_key in by_size.get(size, ()):
+                if cached_key not in dropped and cached_key < key:
+                    return cached_key
+        return None
+
+    def _patch_from_base(
+        self,
+        key: FrozenSet[int],
+        base_key: FrozenSet[int],
+        old_partition: Partition,
+        old_num_rows: int,
+        new_num_rows: int,
+    ) -> Tuple[Partition, List[List[int]], List[List[int]]]:
+        """Merge appended rows into ``Pi_key`` using the patched base,
+        returning ``(patched, removed_classes, added_classes)``.
+
+        ``Pi_key`` refines ``Pi_base``: every (non-singleton) ``key``-class
+        lies inside a ``base``-class.  A ``key``-class can only gain rows or
+        newly form inside a ``base``-class that contains an appended row, so
+        the classes of such *touched* base classes are recomputed by
+        splitting on the remaining attributes, and every other old class is
+        carried over unchanged.
+        """
+        base = self._cache[base_key]
+        extra = sorted(key - base_key)
+        columns = [self._encoded.ranks_by_index(index) for index in extra]
+        touched_classes = [
+            rows for rows in base.classes if rows[-1] >= old_num_rows
+        ]  # class rows are sorted ascending, so the last one is the maximum
+        touched_rows = set()
+        for rows in touched_classes:
+            touched_rows.update(rows)
+        carried: List[List[int]] = []
+        replaced: List[List[int]] = []
+        for rows in old_partition.classes:
+            # An old class lies inside exactly one base class; its first row
+            # tells us whether that base class was touched by the delta.
+            if rows[0] in touched_rows:
+                replaced.append(rows)
+            else:
+                carried.append(rows)
+        rebuilt: List[List[int]] = []
+        if len(columns) == 1:
+            # Splitting on one attribute is by far the common case (the
+            # patch base is usually the context minus one attribute);
+            # single-int keys skip the tuple building of the general path.
+            (column,) = columns
+            for base_rows in touched_classes:
+                groups: Dict[int, List[int]] = {}
+                for row in base_rows:
+                    groups.setdefault(column[row], []).append(row)
+                rebuilt.extend(g for g in groups.values() if len(g) >= 2)
+        else:
+            for base_rows in touched_classes:
+                key_groups: Dict[Tuple[int, ...], List[int]] = {}
+                for row in base_rows:
+                    group_key = tuple(column[row] for column in columns)
+                    key_groups.setdefault(group_key, []).append(row)
+                rebuilt.extend(g for g in key_groups.values() if len(g) >= 2)
+        removed, added = _class_diff(replaced, rebuilt)
+        # Carried classes are adopted by reference (and stay shared with the
+        # old partition object, which is discarded by the cache right away);
+        # all class lists are already row-sorted, so skip renormalising.
+        return (
+            Partition._from_sorted_classes(carried + rebuilt, new_num_rows),
+            removed,
+            added,
+        )

@@ -245,6 +245,24 @@ class Relation:
             self._encoded[resolved.name] = cached
         return cached
 
+    def adopt_encoding(self, encoded) -> None:
+        """Seed the per-backend encoding cache with a precomputed encoding.
+
+        Used by the incremental-maintenance path: a relation produced by
+        :meth:`concat` adopts the delta-extended
+        :class:`~repro.dataset.encoding.EncodedRelation` so the appended
+        table never pays a cold re-encode.  The encoding must describe this
+        relation (same schema, same number of rows).
+        """
+        if encoded.num_rows != self._num_rows:
+            raise ValueError(
+                f"encoding has {encoded.num_rows} rows, "
+                f"relation has {self._num_rows}"
+            )
+        if encoded.schema.names != self._schema.names:
+            raise ValueError("encoding schema does not match the relation")
+        self._encoded[encoded.backend.name] = encoded
+
     # -- dunder / presentation -------------------------------------------------
 
     def __eq__(self, other: object) -> bool:

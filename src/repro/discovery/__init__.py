@@ -41,7 +41,9 @@ from repro.discovery.results import (
 )
 from repro.discovery.stats import DiscoveryStatistics
 from repro.discovery.events import (
+    DatasetExtended,
     DependencyFound,
+    DependencyRevoked,
     DiscoveryEvent,
     LevelCompleted,
     LevelStarted,
@@ -55,7 +57,9 @@ from repro.discovery.sampling import prefilter_candidates, validate_aoc_hybrid
 
 __all__ = [
     "CancellationToken",
+    "DatasetExtended",
     "DependencyFound",
+    "DependencyRevoked",
     "DiscoveredOC",
     "DiscoveredOFD",
     "DiscoveryConfig",

@@ -25,25 +25,54 @@ Usage::
         series = profiler.sweep([0.05, 0.10, 0.15])
         for event in profiler.iter_events(DiscoveryRequest(threshold=0.2)):
             ...  # LevelStarted / DependencyFound / LevelCompleted / RunCompleted
+        profiler.extend(new_rows)              # evolving data: delta-encode,
+        profiler.discover_incremental(threshold=0.1)  # patch, repair, rerun
 
 Requests are plain :class:`~repro.discovery.config.DiscoveryRequest` values
 (JSON-serialisable); live concerns — backend, workers, progress callbacks,
 cancellation — belong to the session and the call site.
+
+Sessions also survive their dataset *growing*: :meth:`Profiler.extend`
+appends rows while keeping every warm asset consistent (delta encoding,
+per-context partition patching, per-class memo repair — see
+:mod:`repro.incremental`), and :meth:`Profiler.discover_incremental`
+re-establishes a request's dependency set revalidating only what the
+appends could have changed, byte-identical to a cold run.  Long-lived
+serving sessions bound their memory with ``max_memo_entries`` /
+``max_cached_partitions`` (LRU eviction, results unchanged).
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import replace
-from typing import Dict, Iterable, Iterator, List, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.backend import resolve_backend
+from repro.caching import BoundedLRU
 from repro.dataset.partition import PartitionCache
 from repro.dataset.relation import Relation
 from repro.discovery.config import DiscoveryRequest
 from repro.discovery.engine import DiscoveryEngine, config_uses_shard_pool
-from repro.discovery.events import DiscoveryEvent
+from repro.discovery.events import DiscoveryEvent, RunCompleted
 from repro.discovery.results import DiscoveryResult
+from repro.incremental.delta import DeltaSummary, rows_to_columns
+
+
+#: Cap on per-request incremental baselines retained by a session (each is
+#: a full DiscoveryResult).  Evicting one is harmless — see `_baselines`.
+MAX_BASELINES = 64
+
+
+@dataclass(frozen=True)
+class _Baseline:
+    """The last completed result for one canonical request, together with
+    the dataset state it was computed against (row count and position in
+    the session's delta log)."""
+
+    delta_index: int
+    num_rows: int
+    result: DiscoveryResult
 
 
 class CancellationToken:
@@ -103,6 +132,18 @@ class Profiler:
         run on instead of spawning one.  The session never closes an
         external pool; hosts serving many datasets share a single pool
         across their sessions this way.  Must match ``num_workers``.
+    max_memo_entries:
+        Optional LRU bound on the validation memo.  The memo's entries are
+        tiny but grow with every distinct candidate ever validated; a
+        long-lived serving session caps it so ad-hoc attribute subsets
+        cannot grow it without limit.  Evicted outcomes are simply
+        recomputed — results never change.
+    max_cached_partitions:
+        Optional LRU bound on the retained partition cache (each entry is
+        O(rows)).  Evicted partitions are rebuilt on demand; during
+        :meth:`extend`, contexts whose partitions were evicted lose their
+        memo entries too (their delta effect is unknown), so tight bounds
+        trade incremental reuse for memory.
     """
 
     def __init__(
@@ -114,6 +155,8 @@ class Profiler:
         cache_validations: bool = True,
         retain_partitions: bool = True,
         shard_pool=None,
+        max_memo_entries: Optional[int] = None,
+        max_cached_partitions: Optional[int] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
@@ -127,13 +170,28 @@ class Profiler:
         self.num_workers = num_workers
         self.encoded = relation.encoded(self.backend)
         self.partitions = (
-            PartitionCache(self.encoded, backend=self.backend)
+            PartitionCache(
+                self.encoded,
+                backend=self.backend,
+                max_entries=max_cached_partitions,
+            )
             if retain_partitions else None
         )
-        self._memo: Optional[dict] = {} if cache_validations else None
+        self._memo: Optional[BoundedLRU] = (
+            BoundedLRU(max_memo_entries) if cache_validations else None
+        )
         self._pool = shard_pool
         self._owns_pool = shard_pool is None
         self._closed = False
+        self._active_streams = 0
+        #: Every append applied to this session, in order.
+        self._delta_log: List[DeltaSummary] = []
+        #: Canonical request JSON -> baseline of the last completed run.
+        #: LRU-bounded: losing a baseline only means a later
+        #: `discover_incremental` for that request degrades to a cold run
+        #: (which re-seeds it) — results never change, so a fixed cap keeps
+        #: ad-hoc request streams from growing session state without limit.
+        self._baselines: BoundedLRU = BoundedLRU(MAX_BASELINES)
 
     # -- discovery ---------------------------------------------------------------
 
@@ -150,9 +208,17 @@ class Profiler:
         ``request`` defaults to ``DiscoveryRequest()``; keyword overrides
         build or amend it (``profiler.discover(threshold=0.1)`` is
         shorthand for ``profiler.discover(DiscoveryRequest(threshold=0.1))``).
+
+        A completed (not cancelled, not timed-out) run is remembered as the
+        session's *baseline* for its canonical request, which is what
+        :meth:`discover_incremental` later diffs and repairs against.
         """
-        engine = self._engine(request, overrides, progress_callback)
-        return engine.run(cancellation)
+        request = self._resolve_request(request, overrides)
+        engine = self._engine(request, progress_callback)
+        result = engine.run(cancellation)
+        if not result.cancelled and not result.timed_out:
+            self._record_baseline(request.to_json(), result)
+        return result
 
     def iter_events(
         self,
@@ -164,9 +230,30 @@ class Profiler:
     ) -> Iterator[DiscoveryEvent]:
         """Stream one discovery as level events (see
         :mod:`repro.discovery.events`); the final
-        :class:`~repro.discovery.events.RunCompleted` carries the result."""
-        engine = self._engine(request, overrides, progress_callback)
-        return engine.iter_events(cancellation)
+        :class:`~repro.discovery.events.RunCompleted` carries the result.
+
+        Like :meth:`discover`, a run whose stream completes uninterrupted
+        becomes the session's incremental baseline for its request, so
+        streamed and one-shot runs feed :meth:`discover_incremental`
+        equally."""
+        request = self._resolve_request(request, overrides)
+        engine = self._engine(request, progress_callback)
+
+        def _record_on_completion() -> Iterator[DiscoveryEvent]:
+            # The count makes `extend` refuse to mutate warm state while
+            # this stream can still resume into it (see `extend`).
+            self._active_streams += 1
+            try:
+                for event in engine.iter_events(cancellation):
+                    if isinstance(event, RunCompleted):
+                        result = event.result
+                        if not result.cancelled and not result.timed_out:
+                            self._record_baseline(request.to_json(), result)
+                    yield event
+            finally:
+                self._active_streams -= 1
+
+        return _record_on_completion()
 
     def sweep(
         self,
@@ -209,6 +296,157 @@ class Profiler:
                 break
         return results
 
+    # -- evolving data ----------------------------------------------------------
+
+    def extend(self, rows: Sequence[object]) -> DeltaSummary:
+        """Append rows and bring the session's warm state up to date.
+
+        Each row is a sequence of cell values in schema order or a mapping
+        from attribute name to value.  The appended rows are delta-encoded
+        into the session's :class:`~repro.dataset.encoding.EncodedRelation`
+        (dictionaries grow monotonically; columns whose new values sort
+        into the middle of the domain are remapped order-preservingly),
+        every retained partition is patched per context, and the validation
+        memo keeps exactly the entries the delta provably did not change.
+        The returned :class:`~repro.incremental.DeltaSummary` says what
+        happened; :meth:`discover_incremental` then revalidates only the
+        affected candidates.
+        """
+        if self._closed:
+            raise RuntimeError("Profiler is closed")
+        if self._active_streams:
+            # A suspended iter_events generator holds an engine built
+            # against the current encoding; patching the shared partition
+            # cache under it would resume that engine onto row ids its
+            # captured rank columns cannot cover (a deep kernel IndexError
+            # far from the misuse).  Make the contract explicit instead.
+            raise RuntimeError(
+                "dataset extended while a discovery stream is active; "
+                "drain or close the iter_events generator first"
+            )
+        schema = self.relation.schema
+        columns = rows_to_columns(schema, list(rows))
+        old_num_rows = self.relation.num_rows
+        extended, modes = self.encoded.extend(columns)
+        delta_relation = Relation(schema, columns)
+        new_relation = self.relation.concat(delta_relation)
+        new_relation.adopt_encoding(extended)
+        affected_names: List[frozenset] = []
+        dropped_names: List[frozenset] = []
+        patches_by_context: Dict[frozenset, tuple] = {}
+        patched = 0
+        if self.partitions is not None:
+            patches = self.partitions.apply_delta(extended, old_num_rows)
+            names = schema.names
+
+            def named(key):
+                return frozenset(names[i] for i in key)
+
+            affected_names = [named(key) for key in patches.affected]
+            dropped_names = [named(key) for key in patches.dropped]
+            patches_by_context = {
+                named(key): patch
+                for key, patch in patches.class_patches.items()
+            }
+            patched = sum(1 for _ in self.partitions.cached_keys())
+        invalidated, adjusted, retained = self._repair_memo(
+            extended, patches_by_context, dropped_names
+        )
+        self.relation = new_relation
+        self.encoded = extended
+        summary = DeltaSummary(
+            old_num_rows=old_num_rows,
+            new_num_rows=new_relation.num_rows,
+            column_modes=modes,
+            affected_contexts=tuple(sorted(affected_names, key=sorted)),
+            dropped_contexts=tuple(sorted(dropped_names, key=sorted)),
+            patched_partitions=patched,
+            invalidated_memo_entries=invalidated,
+            adjusted_memo_entries=adjusted,
+            retained_memo_entries=retained,
+        )
+        if summary.num_appended:
+            self._delta_log.append(summary)
+        return summary
+
+    def discover_incremental(
+        self,
+        request: Optional[DiscoveryRequest] = None,
+        *,
+        progress_callback=None,
+        cancellation=None,
+        **overrides,
+    ):
+        """Re-establish the request's dependency set after :meth:`extend`.
+
+        Classifies the previous result's candidates (still-valid /
+        must-revalidate / newly-possible), revalidates only what the
+        appended rows can have changed, and returns an
+        :class:`~repro.incremental.IncrementalOutcome` whose ``result`` is
+        byte-identical to a cold discovery over the concatenated table.
+        Without a prior completed run for the (canonicalised) request this
+        degrades to a cold run that seeds the baseline.
+        """
+        from repro.incremental.engine import IncrementalEngine
+
+        if self._closed:
+            raise RuntimeError("Profiler is closed")
+        engine = IncrementalEngine(
+            self, self._resolve_request(request, overrides)
+        )
+        return engine.discover(
+            progress_callback=progress_callback, cancellation=cancellation
+        )
+
+    def _repair_memo(self, extended, patches_by_context, dropped_names):
+        """Repair or drop memo entries an append may have changed.
+
+        Entries of unaffected, still-cached contexts are kept as they are;
+        entries of affected contexts are adjusted per class (see
+        :mod:`repro.incremental.repair`); entries whose context is no
+        longer provably tracked (dropped or LRU-evicted partitions) are
+        purged.  Without a retained partition cache nothing is provable,
+        so everything goes.
+        """
+        if self._memo is None:
+            return 0, 0, 0
+        if self.partitions is None:
+            invalidated = len(self._memo)
+            self._memo.clear()
+            return invalidated, 0, 0
+        from repro.incremental.repair import repair_memo
+
+        names = self.relation.schema.names
+        cached = {
+            frozenset(names[i] for i in key)
+            for key in self.partitions.cached_keys()
+        }
+        return repair_memo(
+            self._memo, extended, patches_by_context, dropped_names, cached
+        )
+
+    # -- incremental session state (read by repro.incremental) -------------------
+
+    @property
+    def validation_memo(self) -> Optional[BoundedLRU]:
+        """The cross-run validation memo (``None`` when disabled)."""
+        return self._memo
+
+    @property
+    def delta_log(self) -> List[DeltaSummary]:
+        """Every append applied to this session, oldest first."""
+        return self._delta_log
+
+    def _baseline(self, request_key: str) -> Optional[_Baseline]:
+        return self._baselines.get(request_key)
+
+    def _record_baseline(self, request_key: str, result: DiscoveryResult) -> None:
+        self._baselines[request_key] = _Baseline(
+            delta_index=len(self._delta_log),
+            num_rows=self.relation.num_rows,
+            result=result,
+        )
+
     # -- introspection -----------------------------------------------------------
 
     def cache_info(self) -> Dict[str, object]:
@@ -216,12 +454,16 @@ class Profiler:
         the number of memoised validation outcomes."""
         info: Dict[str, object] = (
             dict(self.partitions.stats) if self.partitions is not None
-            else {"hits": 0, "misses": 0, "entries": 0}
+            else {"hits": 0, "misses": 0, "entries": 0, "evictions": 0}
         )
         info["validation_memo_entries"] = (
             len(self._memo) if self._memo is not None else 0
         )
+        info["validation_memo_evictions"] = (
+            self._memo.evictions if self._memo is not None else 0
+        )
         info["backend"] = self.backend.name
+        info["num_appends"] = len(self._delta_log)
         return info
 
     @property
@@ -250,13 +492,16 @@ class Profiler:
 
     # -- internals ---------------------------------------------------------------
 
-    def _engine(self, request, overrides, progress_callback) -> DiscoveryEngine:
+    def _resolve_request(self, request, overrides) -> DiscoveryRequest:
+        if request is None:
+            return DiscoveryRequest(**overrides)
+        if overrides:
+            return replace(request, **overrides)
+        return request
+
+    def _engine(self, request, progress_callback) -> DiscoveryEngine:
         if self._closed:
             raise RuntimeError("Profiler is closed")
-        if request is None:
-            request = DiscoveryRequest(**overrides)
-        elif overrides:
-            request = replace(request, **overrides)
         config = request.to_config(
             backend=self.backend,
             num_workers=self.num_workers,

@@ -8,7 +8,8 @@ relation, partition cache, validation memo, worker pool).
 Endpoints (JSON in, JSON out; no dependencies beyond the stdlib):
 
 ``GET /healthz``
-    ``{"status": "ok", "datasets": <count>}``.
+    ``{"status": "ok", "datasets": <count>, "result_cache": {hits, misses,
+    entries}}``.
 
 ``GET /datasets``
     The loaded datasets with row/attribute counts and warm-cache info.
@@ -24,6 +25,20 @@ Endpoints (JSON in, JSON out; no dependencies beyond the stdlib):
     lattice level finishes, which is what lets a client overlap its own
     processing with the remaining search.
 
+``POST /datasets/<name>/append``
+    Body: ``{"rows": [<row>, ...], "request": {<DiscoveryRequest fields>}?}``.
+    Appends rows to the named dataset's warm session (delta encoding,
+    partition patching, memo purge — see :mod:`repro.incremental`) and
+    invalidates its result cache.  With ``"request"`` the warm session is
+    revalidated immediately: the response additionally carries the
+    incremental ``result``, the ``revoked_ocs`` / ``revoked_ofds`` that
+    fell out, and the repair ``plan``; the fresh result re-seeds the cache.
+
+Completed (non-streamed *and* streamed) discovery results are cached per
+dataset under the canonical request JSON and served without re-running the
+engine until an append invalidates them; ``/healthz`` exposes the hit/miss
+counters.
+
 Concurrency: the HTTP server is threading, but runs against one dataset
 are serialised with a per-dataset lock (the session's warm caches are not
 thread-safe); different datasets profile concurrently.
@@ -36,9 +51,10 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Iterator, List, Optional
 
+from repro.caching import BoundedLRU
 from repro.dataset.relation import Relation
 from repro.discovery.config import DiscoveryRequest
-from repro.discovery.events import DiscoveryEvent
+from repro.discovery.events import DiscoveryEvent, RunCompleted
 from repro.discovery.results import DiscoveryResult
 from repro.discovery.session import Profiler
 
@@ -60,6 +76,16 @@ class ProfilerService:
         self._profilers: Dict[str, Profiler] = {}
         self._locks: Dict[str, threading.Lock] = {}
         self._pool = None
+        # Result cache: dataset name -> canonical request JSON -> result.
+        # Guarded by the per-dataset lock; invalidated by appends and
+        # LRU-bounded per dataset so ad-hoc request streams cannot grow a
+        # long-lived server without limit (an evicted result is recomputed).
+        self._results: Dict[str, BoundedLRU] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    #: Per-dataset cap on cached results (each is a full DiscoveryResult).
+    max_cached_results = 128
 
     # -- dataset registry --------------------------------------------------------
 
@@ -84,6 +110,7 @@ class ProfilerService:
         )
         self._profilers[name] = profiler
         self._locks[name] = threading.Lock()
+        self._results[name] = BoundedLRU(self.max_cached_results)
         return profiler
 
     @property
@@ -142,26 +169,83 @@ class ProfilerService:
     def discover(
         self, dataset: Optional[str], request: DiscoveryRequest
     ) -> DiscoveryResult:
-        """Run one discovery against the named dataset's warm session."""
+        """Run one discovery against the named dataset's warm session.
+
+        Completed results are cached under the canonical request JSON and
+        replayed until an append to the dataset invalidates them."""
         name = self._resolve(dataset)
         self._check_request(request)
+        key = request.to_json()
         with self._locks[name]:
-            return self._profilers[name].discover(request)
+            cached = self._results[name].get(key)
+            if cached is not None:
+                self._cache_hits += 1
+                return cached
+            self._cache_misses += 1
+            result = self._profilers[name].discover(request)
+            self._store_result(name, key, result)
+            return result
+
+    def _store_result(self, name: str, key: str, result: DiscoveryResult) -> None:
+        # Interrupted runs are partial (and timing-dependent): never cache.
+        if not result.cancelled and not result.timed_out:
+            self._results[name][key] = result
 
     def iter_events(
         self, dataset: Optional[str], request: DiscoveryRequest
     ) -> Iterator[DiscoveryEvent]:
         """Stream one discovery; the per-dataset lock is held until the
         stream is exhausted (or closed).  Dataset resolution is eager so a
-        bad name fails before any event (and before HTTP headers go out)."""
+        bad name fails before any event (and before HTTP headers go out).
+        The final result populates the result cache like a non-streamed
+        run (a stream never *serves* from the cache: its point is watching
+        the levels finish live)."""
         name = self._resolve(dataset)
         self._check_request(request)
+        key = request.to_json()
 
         def _generate() -> Iterator[DiscoveryEvent]:
             with self._locks[name]:
-                yield from self._profilers[name].iter_events(request)
+                for event in self._profilers[name].iter_events(request):
+                    if isinstance(event, RunCompleted):
+                        self._store_result(name, key, event.result)
+                    yield event
 
         return _generate()
+
+    def append(
+        self,
+        dataset: Optional[str],
+        rows: List[object],
+        request: Optional[DiscoveryRequest] = None,
+    ):
+        """Append rows to a dataset's warm session; optionally revalidate.
+
+        Returns ``(name, delta_summary, outcome)`` where ``outcome`` is the
+        :class:`~repro.incremental.IncrementalOutcome` of the revalidation
+        when ``request`` was given, else ``None``.  The dataset's result
+        cache is always invalidated; a revalidated result re-seeds it.
+        """
+        name = self._resolve(dataset)
+        if request is not None:
+            self._check_request(request)
+        with self._locks[name]:
+            profiler = self._profilers[name]
+            summary = profiler.extend(rows)
+            self._results[name].clear()
+            outcome = None
+            if request is not None:
+                outcome = profiler.discover_incremental(request)
+                self._store_result(name, request.to_json(), outcome.result)
+            return name, summary, outcome
+
+    def result_cache_stats(self) -> Dict[str, int]:
+        """Hit/miss counters and current size of the result cache."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "entries": sum(len(cache) for cache in self._results.values()),
+        }
 
     def close(self) -> None:
         """Close every session and the shared worker pool."""
@@ -244,6 +328,7 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, {
                     "status": "ok",
                     "datasets": len(self.service.dataset_names),
+                    "result_cache": self.service.result_cache_stats(),
                 })
             elif self.path == "/datasets":
                 self._send_json(200, {"datasets": self.service.describe()})
@@ -259,16 +344,17 @@ class _Handler(BaseHTTPRequestHandler):
             pass  # client went away mid-response: routine disconnect
 
     def _handle_post(self) -> None:
-        if self.path != "/discover":
+        append_dataset = self._append_path_dataset()
+        if self.path != "/discover" and append_dataset is None:
             self._send_error_json(404, f"unknown path {self.path!r}")
             return
         try:
             body = self._read_body()
+            if append_dataset is not None:
+                self._handle_append(append_dataset, body)
+                return
             dataset = body.get("dataset")
-            try:
-                request = DiscoveryRequest.from_dict(body.get("request") or {})
-            except (TypeError, ValueError) as error:
-                raise ServiceError(400, f"invalid discovery request: {error}")
+            request = self._parse_request(body.get("request") or {})
             stream = body.get("stream", False)
             if not isinstance(stream, bool):
                 raise ServiceError(
@@ -290,6 +376,45 @@ class _Handler(BaseHTTPRequestHandler):
             # Lifecycle faults (closed session/pool) are server-side: a
             # 5xx tells the client to retry, not to fix its request.
             self._send_error_json(500, str(error))
+
+    def _append_path_dataset(self) -> Optional[str]:
+        """Dataset name from a ``/datasets/<name>/append`` path, else None."""
+        parts = self.path.split("/")
+        if len(parts) == 4 and parts[0] == "" and parts[1] == "datasets" \
+                and parts[2] and parts[3] == "append":
+            from urllib.parse import unquote
+
+            return unquote(parts[2])
+        return None
+
+    @staticmethod
+    def _parse_request(data: object) -> DiscoveryRequest:
+        if not isinstance(data, dict):
+            raise ServiceError(
+                400, f"request must be a JSON object, got {data!r}"
+            )
+        try:
+            return DiscoveryRequest.from_dict(data)
+        except (TypeError, ValueError) as error:
+            raise ServiceError(400, f"invalid discovery request: {error}")
+
+    def _handle_append(self, dataset: str, body: Dict[str, object]) -> None:
+        rows = body.get("rows")
+        if not isinstance(rows, list):
+            raise ServiceError(
+                400, "append body must carry a JSON array under 'rows'"
+            )
+        request = None
+        if body.get("request") is not None:
+            request = self._parse_request(body["request"])
+        name, summary, outcome = self.service.append(dataset, rows, request)
+        payload: Dict[str, object] = {
+            "dataset": name,
+            "delta": summary.to_dict(),
+        }
+        if outcome is not None:
+            payload.update(outcome.to_dict())
+        self._send_json(200, payload)
 
     def _stream_discovery(
         self, dataset: Optional[str], request: DiscoveryRequest

@@ -168,6 +168,7 @@ class ShardedValidationPool:
         num_pairs = len(rank_pairs)
         if num_pairs == 0:
             return []
+        self._check_column_freshness(classes, rank_pairs)
         shards = [
             shard
             for shard in assign_classes_to_workers(list(classes), self.num_workers)
@@ -205,6 +206,33 @@ class ShardedValidationPool:
                 over or total > limit for total, over in zip(totals, exceeded)
             ]
         return list(zip(totals, exceeded))
+
+    @staticmethod
+    def _check_column_freshness(classes, rank_pairs) -> None:
+        """Refuse to ship rank columns shorter than the rows they must cover.
+
+        A pool outlives discovery runs — and, with incremental maintenance,
+        dataset *versions*: after ``Profiler.extend`` the encoded relation
+        has more rows, and any stale column captured before the append
+        would silently index out of range (or worse, wrap around) on the
+        workers.  Class row lists are sorted, so the last row of each class
+        is its maximum; every column must cover the overall maximum.
+        """
+        needed = -1
+        for rows in classes:
+            if len(rows) and rows[-1] > needed:
+                needed = rows[-1]
+        if needed < 0:
+            return
+        for a_ranks, b_ranks in rank_pairs:
+            for ranks in (a_ranks, b_ranks):
+                if len(ranks) <= needed:
+                    raise RuntimeError(
+                        f"stale rank column: {len(ranks)} entries cannot "
+                        f"cover row {needed}; the encoded relation grew "
+                        "after this column was captured — refresh columns "
+                        "from the current encoding before revalidating"
+                    )
 
     def close(self) -> None:
         """Shut the worker processes down (idempotent)."""

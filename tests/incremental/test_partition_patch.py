@@ -1,0 +1,137 @@
+"""Partition patching: ``PartitionCache.apply_delta`` vs fresh rebuilds.
+
+Every cached partition, after a delta, must equal the partition a brand-new
+cache would build over the concatenated relation — and the ``affected`` set
+must contain exactly the contexts whose stripped classes changed (that is
+the memo-invalidation contract: an unaffected context's memoised removal
+counts stay exact).
+"""
+
+from itertools import combinations
+
+import pytest
+
+from repro.backend import available_backends
+from repro.dataset.encoding import EncodedRelation
+from repro.dataset.partition import PartitionCache
+from repro.dataset.relation import Relation
+from repro.dataset.generators import generate_flight_like
+
+BACKENDS = available_backends()
+
+
+def _all_context_keys(relation, max_size=3):
+    indices = range(relation.num_attributes)
+    keys = [frozenset()]
+    for size in range(1, max_size + 1):
+        keys.extend(frozenset(c) for c in combinations(indices, size))
+    return keys
+
+
+def _patched_vs_fresh(base, delta_columns, backend, max_size=3):
+    encoded = base.encoded(backend)
+    cache = PartitionCache(encoded, backend=backend)
+    keys = _all_context_keys(base, max_size)
+    before = {key: cache.get(key) for key in keys}
+    extended, _ = encoded.extend(delta_columns)
+    patches = cache.apply_delta(extended, base.num_rows)
+    assert not patches.dropped  # every proper subset is cached here
+
+    concatenated = base.concat(Relation(base.schema, delta_columns))
+    fresh = PartitionCache(concatenated.encoded(backend), backend=backend)
+    for key in keys:
+        assert cache.get(key) == fresh.get(key), sorted(key)
+        classes_changed = before[key].classes != fresh.get(key).classes
+        assert (key in patches.affected) == classes_changed, sorted(key)
+        if key in patches.affected:
+            # The class patch reproduces exactly the symmetric difference.
+            removed, added = patches.class_patches[key]
+            old_set = {tuple(c) for c in before[key].classes}
+            new_set = {tuple(c) for c in fresh.get(key).classes}
+            assert {tuple(c) for c in removed} == old_set - new_set
+            assert {tuple(c) for c in added} == new_set - old_set
+    return patches.affected
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_patch_matches_fresh_build_small(backend):
+    base = Relation.from_columns({
+        "a": [1, 1, 2, 2, 3],
+        "b": ["x", "y", "x", "x", "z"],
+        "c": [10, 10, 20, 30, 30],
+    })
+    # Row joining an existing class, row pairing with an old singleton, and
+    # two rows forming a brand-new class among themselves.
+    delta = {
+        "a": [1, 3, 9, 9],
+        "b": ["x", "z", "q", "q"],
+        "c": [10, 30, 77, 77],
+    }
+    affected = _patched_vs_fresh(base, delta, backend)
+    assert frozenset() in affected  # the unit context always gains rows
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_unaffected_contexts_are_not_flagged(backend):
+    base = Relation.from_columns({
+        "a": [1, 1, 2, 2],
+        "b": [5, 6, 5, 6],
+    })
+    # Delta rows unique on `a` (and on {a, b}): Pi_a's and Pi_ab's stripped
+    # classes are untouched, Pi_b's gain rows.
+    delta = {"a": [7, 8], "b": [5, 6]}
+    affected = _patched_vs_fresh(base, delta, backend, max_size=2)
+    names = base.schema.names
+    assert frozenset([names.index("a")]) not in affected
+    assert frozenset([names.index("a"), names.index("b")]) not in affected
+    assert frozenset([names.index("b")]) in affected
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_patch_matches_fresh_build_generated(backend):
+    workload = generate_flight_like(160, num_attributes=6, error_rate=0.1, seed=5)
+    donor = generate_flight_like(200, num_attributes=6, error_rate=0.1, seed=8)
+    delta_rel = donor.relation.take(range(160, 200))
+    delta = {n: delta_rel.column(n) for n in workload.relation.attribute_names}
+    _patched_vs_fresh(workload.relation, delta, backend, max_size=3)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_missing_subset_drops_partition(backend):
+    base = Relation.from_columns({
+        "a": [1, 1, 2], "b": [5, 5, 6], "c": [7, 8, 7],
+    })
+    encoded = base.encoded(backend)
+    cache = PartitionCache(encoded, backend=backend)
+    abc = frozenset([0, 1, 2])
+    cache.get(abc)
+    cache.evict_level(3)  # drop every smaller context: nothing to patch from
+    extended, _ = encoded.extend({"a": [1], "b": [5], "c": [7]})
+    patches = cache.apply_delta(extended, base.num_rows)
+    assert patches.dropped == {abc}
+    assert abc not in set(cache.cached_keys())
+    # A later request rebuilds it against the extended encoding.
+    concatenated = base.concat(Relation(base.schema, {"a": [1], "b": [5], "c": [7]}))
+    fresh = PartitionCache(concatenated.encoded(backend), backend=backend)
+    assert cache.get(abc) == fresh.get(abc)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_empty_delta_is_a_no_op(backend):
+    base = Relation.from_columns({"a": [1, 1, 2]})
+    encoded = base.encoded(backend)
+    cache = PartitionCache(encoded, backend=backend)
+    before = cache.get(frozenset([0]))
+    extended, _ = encoded.extend({"a": []})
+    patches = cache.apply_delta(extended, base.num_rows)
+    assert patches.affected == set() and patches.dropped == set()
+    assert patches.class_patches == {}
+    assert cache.get(frozenset([0])) is before
+
+
+def test_apply_delta_rejects_shrinking():
+    base = Relation.from_columns({"a": [1, 2, 3]})
+    encoded = base.encoded()
+    cache = PartitionCache(encoded)
+    with pytest.raises(ValueError, match="appends"):
+        cache.apply_delta(encoded, 5)

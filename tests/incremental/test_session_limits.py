@@ -1,0 +1,105 @@
+"""Warm-session memory bounds: ``max_memo_entries`` / ``max_cached_partitions``.
+
+The LRU knobs exist so a long-lived ``repro serve`` session cannot grow
+without limit; they must bound state without ever changing results (evicted
+entries are recomputed), and the incremental path must stay correct when
+eviction removes the partitions it would otherwise patch.
+"""
+
+import pytest
+
+from repro.backend import available_backends
+from repro.caching import BoundedLRU
+from repro.dataset.generators import generate_flight_like
+from repro.dataset.relation import Relation
+from repro.discovery.config import DiscoveryRequest
+from repro.discovery.session import Profiler
+
+BACKENDS = available_backends()
+
+
+class TestBoundedLRU:
+    def test_unbounded_behaves_like_dict(self):
+        cache = BoundedLRU()
+        for i in range(100):
+            cache[i] = i * i
+        assert len(cache) == 100 and cache.evictions == 0
+
+    def test_bound_evicts_least_recently_used(self):
+        cache = BoundedLRU(3)
+        cache["a"], cache["b"], cache["c"] = 1, 2, 3
+        assert cache.get("a") == 1  # refreshes "a"
+        cache["d"] = 4  # evicts "b", the stalest
+        assert set(cache) == {"a", "c", "d"}
+        assert cache.evictions == 1
+        assert cache.get("b") is None
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            BoundedLRU(0)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bounded_session_matches_unbounded(backend):
+    relation = generate_flight_like(180, num_attributes=6, error_rate=0.1,
+                                    seed=7).relation
+    request = DiscoveryRequest.approximate(0.1)
+    with Profiler(relation, backend=backend) as unbounded:
+        reference = unbounded.discover(request)
+    with Profiler(
+        relation, backend=backend, max_memo_entries=10,
+        max_cached_partitions=4,
+    ) as bounded:
+        result = bounded.discover(request)
+        info = bounded.cache_info()
+    assert result.ocs == reference.ocs and result.ofds == reference.ofds
+    assert info["entries"] <= 4
+    assert info["validation_memo_entries"] <= 10
+    assert info["evictions"] > 0 and info["validation_memo_evictions"] > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_bounded_session_incremental_still_byte_identical(backend):
+    base = generate_flight_like(150, num_attributes=5, error_rate=0.1,
+                                seed=12).relation
+    donor = generate_flight_like(60, num_attributes=5, error_rate=0.2,
+                                 seed=21).relation
+    rows = [donor.row(i) for i in range(20)]
+    request = DiscoveryRequest.approximate(0.1)
+    with Profiler(
+        base, backend=backend, max_memo_entries=8, max_cached_partitions=3,
+    ) as session:
+        session.discover(request)
+        summary = session.extend(rows)
+        # With partitions evicted, their memo entries must have gone too
+        # (the delta's effect on an unpatched context is unknown).
+        assert summary.dropped_contexts or summary.patched_partitions <= 3
+        outcome = session.discover_incremental(request)
+    columns = {name: [] for name in base.attribute_names}
+    for row in rows:
+        for name, value in zip(base.attribute_names, row):
+            columns[name].append(value)
+    with Profiler(
+        base.concat(Relation(base.schema, columns)), backend=backend,
+        cache_validations=False, retain_partitions=False,
+    ) as cold_session:
+        cold = cold_session.discover(request)
+    assert outcome.result.ocs == cold.ocs
+    assert outcome.result.ofds == cold.ofds
+
+
+def test_memo_disabled_extend_still_correct():
+    base = generate_flight_like(120, num_attributes=5, error_rate=0.1,
+                                seed=14).relation
+    request = DiscoveryRequest.approximate(0.1)
+    with Profiler(base, cache_validations=False,
+                  retain_partitions=False) as session:
+        session.discover(request)
+        summary = session.extend([base.row(0)])
+        assert summary.patched_partitions == 0
+        outcome = session.discover_incremental(request)
+    with Profiler(base.concat(base.take([0])), cache_validations=False,
+                  retain_partitions=False) as cold_session:
+        cold = cold_session.discover(request)
+    assert outcome.result.ocs == cold.ocs
+    assert outcome.result.ofds == cold.ofds

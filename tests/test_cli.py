@@ -161,3 +161,51 @@ class TestAmbiguousNames:
         # Explicit disambiguation profiles the file.
         assert main(["discover", "sweep", "--threshold", "0.15"]) == 0
         assert "Discovered:" in capsys.readouterr().out
+
+
+class TestExtendCommand:
+    def _csvs(self, tmp_path):
+        table = employee_salary_table()
+        base_path = tmp_path / "base.csv"
+        delta_path = tmp_path / "delta.csv"
+        write_csv(table.take(range(6)), base_path)
+        write_csv(table.take(range(6, 9)), delta_path)
+        return base_path, delta_path
+
+    def test_extend_parser(self):
+        args = build_parser().parse_args(
+            ["extend", "base.csv", "delta.csv", "--threshold", "0.2",
+             "--verify-cold"]
+        )
+        assert args.command == "extend"
+        assert args.csv == "base.csv" and args.delta == "delta.csv"
+        assert args.threshold == 0.2 and args.verify_cold
+
+    def test_extend_runs_and_verifies(self, tmp_path, capsys):
+        base_path, delta_path = self._csvs(tmp_path)
+        assert main(["extend", str(base_path), str(delta_path),
+                     "--threshold", "0.15", "--verify-cold"]) == 0
+        output = capsys.readouterr().out
+        assert "Baseline:" in output
+        assert "Appended: 3 rows -> 9" in output
+        assert "Incremental:" in output
+        assert "Cold verification: identical result" in output
+
+    def test_extend_exact_mode(self, tmp_path, capsys):
+        base_path, delta_path = self._csvs(tmp_path)
+        assert main(["extend", str(base_path), str(delta_path),
+                     "--exact", "--max-level", "3"]) == 0
+        assert "Incremental:" in capsys.readouterr().out
+
+    def test_extend_rejects_mismatched_schemas(self, tmp_path, capsys):
+        base_path, _ = self._csvs(tmp_path)
+        other = tmp_path / "other.csv"
+        other.write_text("x,y\n1,2\n", encoding="utf-8")
+        assert main(["extend", str(base_path), str(other)]) == 2
+        assert "do not match" in capsys.readouterr().err
+
+    def test_extend_missing_file_is_an_error(self, tmp_path, capsys):
+        base_path, _ = self._csvs(tmp_path)
+        assert main(["extend", str(base_path),
+                     str(tmp_path / "missing.csv")]) == 2
+        assert "error:" in capsys.readouterr().err

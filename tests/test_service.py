@@ -48,7 +48,10 @@ class TestEndpoints:
     def test_healthz(self, server_url):
         status, payload = _get(server_url + "/healthz")
         assert status == 200
-        assert payload == {"status": "ok", "datasets": 1}
+        assert payload["status"] == "ok"
+        assert payload["datasets"] == 1
+        cache = payload["result_cache"]
+        assert set(cache) == {"hits", "misses", "entries"}
 
     def test_datasets_listing(self, server_url):
         status, payload = _get(server_url + "/datasets")
@@ -213,8 +216,128 @@ class TestProfilerService:
         service = ProfilerService()
         service.add_dataset("demo", employee_salary_table())
         first = service.discover("demo", DiscoveryRequest(threshold=0.15))
+        # An identical request replays the cached result without touching
+        # the engine at all.
         second = service.discover("demo", DiscoveryRequest(threshold=0.15))
-        assert second.ocs == first.ocs
+        assert second is first
+        assert service.result_cache_stats()["hits"] == 1
+        # A different request misses the result cache but still runs warm:
+        # the session memo answers the validations already computed.
+        third = service.discover("demo", DiscoveryRequest(threshold=0.10))
         assert first.stats.validation_memo_hits == 0
-        assert second.stats.validation_memo_hits > 0
+        assert third.stats.validation_memo_hits > 0
+        assert service.result_cache_stats()["misses"] == 2
         service.close()
+
+
+class TestAppend:
+    """Dataset appends: extend + revalidate + result-cache invalidation."""
+
+    def _service(self):
+        service = ProfilerService()
+        service.add_dataset("demo", employee_salary_table())
+        return service
+
+    def test_append_invalidates_result_cache(self):
+        service = self._service()
+        request = DiscoveryRequest(threshold=0.15)
+        first = service.discover("demo", request)
+        rows = [list(employee_salary_table().row(0))]
+        name, summary, outcome = service.append("demo", rows)
+        assert name == "demo" and outcome is None
+        assert summary.num_appended == 1
+        assert service.result_cache_stats()["entries"] == 0
+        again = service.discover("demo", request)
+        assert again is not first
+        assert again.num_rows == first.num_rows + 1
+        service.close()
+
+    def test_append_with_request_revalidates(self):
+        service = self._service()
+        request = DiscoveryRequest(threshold=0.15)
+        service.discover("demo", request)
+        rows = [list(employee_salary_table().row(1))]
+        _, _, outcome = service.append("demo", rows, request)
+        assert outcome is not None
+        assert outcome.result.num_rows == 10
+        # The fresh result re-seeded the cache.
+        assert service.discover("demo", request) is outcome.result
+        # Cold equivalence over the concatenated table.
+        concatenated = employee_salary_table().concat(
+            employee_salary_table().take([1])
+        )
+        reference = discover_aods(concatenated, threshold=0.15)
+        assert outcome.result.ocs == reference.ocs
+        assert outcome.result.ofds == reference.ofds
+        service.close()
+
+    def test_append_unknown_dataset(self):
+        service = self._service()
+        with pytest.raises(ServiceError) as excinfo:
+            service.append("nope", [[1]])
+        assert excinfo.value.status == 404
+        service.close()
+
+
+class TestAppendEndpoint:
+    """HTTP surface of ``POST /datasets/<name>/append`` (own server: the
+    shared module fixture must stay append-free for the other tests)."""
+
+    @pytest.fixture()
+    def fresh_server(self):
+        service = ProfilerService()
+        service.add_dataset("demo", employee_salary_table())
+        server = make_server(service, host="127.0.0.1", port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{port}"
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5)
+
+    def test_append_roundtrip(self, fresh_server):
+        row = list(employee_salary_table().row(0))
+        status, body = _post(fresh_server + "/datasets/demo/append", {
+            "rows": [row], "request": {"threshold": 0.15},
+        })
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["dataset"] == "demo"
+        assert payload["delta"]["num_appended"] == 1
+        assert payload["delta"]["new_num_rows"] == 10
+        assert "plan" in payload and "revoked_ocs" in payload
+        result = DiscoveryResult.from_dict(payload["result"])
+        assert result.num_rows == 10
+        status, health = _get(fresh_server + "/healthz")
+        assert health["result_cache"]["entries"] == 1
+
+    def test_append_without_request(self, fresh_server):
+        row = list(employee_salary_table().row(2))
+        status, body = _post(fresh_server + "/datasets/demo/append", {
+            "rows": [row],
+        })
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["delta"]["num_appended"] == 1
+        assert "result" not in payload
+
+    def test_append_bad_body(self, fresh_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(fresh_server + "/datasets/demo/append", {"rows": "nope"})
+        assert excinfo.value.code == 400
+
+    def test_append_malformed_row_shapes_are_400(self, fresh_server):
+        # Non-iterable, bare-string and wrong-arity rows must all answer
+        # with JSON 400s, never a dropped connection.
+        for rows in ([5], ["abcdefg"], [[1, 2]]):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(fresh_server + "/datasets/demo/append", {"rows": rows})
+            assert excinfo.value.code == 400, rows
+            assert "error" in json.loads(excinfo.value.read())
+
+    def test_append_unknown_dataset_http(self, fresh_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(fresh_server + "/datasets/missing/append", {"rows": []})
+        assert excinfo.value.code == 404

@@ -102,3 +102,24 @@ def test_sharded_pool_empty_group():
         assert pool.oc_counts_batch([], [], 3) == []
         ranks = [0, 1, 2, 3]
         assert pool.oc_counts_batch([], [(ranks, ranks)], 3) == [(0, False)]
+
+
+def test_sharded_pool_rejects_stale_columns():
+    """Incremental regression: after ``Profiler.extend`` grows the encoded
+    relation, a column captured before the append no longer covers the new
+    row ids — the pool must refuse to ship it to the workers instead of
+    silently mis-indexing."""
+    with ShardedValidationPool(2, backend="python") as pool:
+        fresh = list(range(6))
+        stale = list(range(4))  # captured before two rows were appended
+        classes = [[0, 1], [4, 5]]
+        assert pool.oc_counts_batch(classes, [(fresh, fresh)], None) \
+            == [(0, False)]
+        with pytest.raises(RuntimeError, match="stale rank column"):
+            pool.oc_counts_batch(classes, [(stale, fresh)], None)
+        with pytest.raises(RuntimeError, match="stale rank column"):
+            pool.oc_counts_batch(classes, [(fresh, stale)], None)
+        # Classes that never reach the appended rows still accept the
+        # shorter column: it covers everything they index.
+        assert pool.oc_counts_batch([[0, 1]], [(stale, stale)], None) \
+            == [(0, False)]
