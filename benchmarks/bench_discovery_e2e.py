@@ -44,10 +44,16 @@ SWEEP_THRESHOLDS = [0.06, 0.09, 0.12, 0.15]
 SWEEP_BACKEND = "numpy" if "numpy" in available_backends() else "python"
 
 #: (backend, batched, workers) — per-candidate vs batched on both backends,
-#: plus the sharded multiprocess path on the fastest backend.
+#: plus the worker-scaling curve (w1/w2/w4) of the pipelined sharded path
+#: on the fastest backend: rank columns stay resident in the worker
+#: processes (shipped once per dataset version) and OC context groups are
+#: dispatched asynchronously while the coordinator validates OFDs.
 CASES = [("python", False, 1), ("python", True, 1)]
 if "numpy" in available_backends():
-    CASES += [("numpy", False, 1), ("numpy", True, 1), ("numpy", True, 4)]
+    CASES += [
+        ("numpy", False, 1), ("numpy", True, 1),
+        ("numpy", True, 2), ("numpy", True, 4),
+    ]
 
 RESULTS = {}
 
@@ -164,6 +170,27 @@ def _report(figure_report):
         batched = RESULTS.get((backend, True, 1))
         if per_candidate and batched and batched.seconds > 0:
             speedups[backend] = round(per_candidate.seconds / batched.seconds, 2)
+    # The worker-scaling curve of the pipelined sharded path (ISSUE-5):
+    # seconds per worker count, normalised against the in-process w1 run.
+    # Whether w4 can actually *win* depends on the hardware: worker
+    # processes overlap with the coordinator's partition building and OFD
+    # validation, which needs real cores — on a single-CPU runner the
+    # overlap degenerates to timesharing and the curve only measures the
+    # (column-plane-reduced) dispatch overhead.  cpu_count is recorded so
+    # readers can interpret the numbers.
+    worker_scaling = {"cpu_count": os.cpu_count()}
+    baseline = RESULTS.get(("numpy", True, 1))
+    if baseline is not None:
+        for backend, batched, workers in RESULTS:
+            if backend == "numpy" and batched:
+                measurement = RESULTS[(backend, batched, workers)]
+                worker_scaling[f"w{workers}"] = {
+                    "seconds": round(measurement.seconds, 4),
+                    "pipelined": measurement.pipelined,
+                    "speedup_vs_w1": round(
+                        baseline.seconds / measurement.seconds, 2
+                    ) if measurement.seconds > 0 else None,
+                }
 
     results_dir = Path(__file__).parent / "results"
     results_dir.mkdir(exist_ok=True)
@@ -173,6 +200,7 @@ def _report(figure_report):
         "quick_mode": QUICK,
         "runs": rows,
         "batched_speedup": speedups,
+        "worker_scaling": worker_scaling,
     }
     sweep = SWEEP_RESULT.get("sweep")
     if sweep is not None:
@@ -183,6 +211,15 @@ def _report(figure_report):
     (results_dir / "BENCH_discovery.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
+
+    # The ISSUE-5 acceptance bar, meaningful only with the cores to overlap
+    # on: sharded-and-pipelined must beat in-process.  Checked *after* the
+    # JSON is written, so a failed bar never discards the measurements
+    # needed to diagnose it.
+    w4 = RESULTS.get(("numpy", True, 4))
+    if (not QUICK and w4 is not None and baseline is not None
+            and (os.cpu_count() or 1) >= 4):
+        assert w4.seconds < baseline.seconds, worker_scaling
 
     cases = list(RESULTS)
     figure_report(
@@ -199,8 +236,7 @@ def _report(figure_report):
             f"workload: flight-like, {NUM_ROWS} rows, threshold {THRESHOLD}",
             "identical OC/OFD sets across all configurations (asserted)",
             f"batched speedup vs per-candidate: {speedups}",
-            "process workers amortise only on large contexts; at this scale "
-            "they mostly measure the sharding overhead",
+            f"worker scaling (pipelined, column plane): {worker_scaling}",
         ]
         + (
             [

@@ -88,6 +88,32 @@ class ComputeBackend(abc.ABC):
     def ofd_holds(self, classes: Sequence[Sequence[int]], value_ranks) -> bool:
         """Exact OFD check (RHS constant within every context class)."""
 
+    # -- batched exact checks ----------------------------------------------------
+    #
+    # Like the batched removal kernels below, these serve the level-synchronous
+    # scheduler: all exact candidates sharing a context are checked through one
+    # call, so the context's columnar view and sort infrastructure are paid
+    # once per group.  Entry ``i`` of the result aligns with input ``i`` and
+    # must equal the corresponding single-candidate check exactly.
+
+    def oc_holds_batch(
+        self,
+        classes: Sequence[Sequence[int]],
+        rank_pairs: Sequence[Tuple[object, object]],
+    ) -> List[bool]:
+        """Exact OC checks for many ``(A, B)`` rank-column pairs sharing one
+        context."""
+        return [self.oc_holds(classes, a_ranks, b_ranks)
+                for a_ranks, b_ranks in rank_pairs]
+
+    def ofd_holds_batch(
+        self,
+        classes: Sequence[Sequence[int]],
+        rhs_ranks: Sequence[object],
+    ) -> List[bool]:
+        """Exact OFD checks for many RHS rank columns sharing one context."""
+        return [self.ofd_holds(classes, ranks) for ranks in rhs_ranks]
+
     # -- removal-set kernels ---------------------------------------------------
 
     @abc.abstractmethod

@@ -40,6 +40,8 @@ class DiscoveryMeasurement:
     batched: bool = True
     #: Worker processes sharding batched OC validation (1 = in-process).
     num_workers: int = 1
+    #: Whether level validation overlapped workers with coordinator work.
+    pipelined: bool = False
 
     def as_row(self) -> Dict[str, object]:
         """Flatten to a dict for the reporting tables."""
@@ -48,6 +50,7 @@ class DiscoveryMeasurement:
             "backend": self.backend,
             "batched": self.batched,
             "workers": self.num_workers,
+            "pipelined": self.pipelined,
             "seconds": round(self.seconds, 4),
             "ocs": self.num_ocs,
             "ofds": self.num_ofds,
@@ -67,6 +70,7 @@ def measure_discovery(
     backend: Optional[str] = None,
     batch_validation: bool = True,
     num_workers: int = 1,
+    pipeline_validation: bool = True,
 ) -> DiscoveryMeasurement:
     """Run discovery in one of the paper's three modes and time it.
 
@@ -83,6 +87,7 @@ def measure_discovery(
         backend=backend,
         batch_validation=batch_validation,
         num_workers=num_workers,
+        pipeline_validation=pipeline_validation,
     )
     if mode == "od":
         config = DiscoveryConfig.exact(**common)
@@ -112,6 +117,7 @@ def measure_discovery(
         backend=result.stats.backend,
         batched=result.stats.batched,
         num_workers=result.stats.num_workers,
+        pipelined=result.stats.pipelined,
     )
 
 

@@ -83,6 +83,11 @@ def _engine_options(parser: argparse.ArgumentParser) -> None:
              "(per-candidate reference path; identical results)",
     )
     parser.add_argument(
+        "--no-pipeline", action="store_true",
+        help="disable pipelined level validation (synchronous worker "
+             "dispatch; identical results; only meaningful with --workers)",
+    )
+    parser.add_argument(
         "--attributes", nargs="*", default=None,
         help="restrict discovery to these attributes",
     )
@@ -196,6 +201,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="worker processes per session (default 1)",
     )
+    serve.add_argument(
+        "--max-memo-entries", type=int, default=None, metavar="N",
+        help="LRU bound on each session's validation memo "
+             "(default: unbounded; evicted outcomes are recomputed)",
+    )
+    serve.add_argument(
+        "--max-cached-partitions", type=int, default=None, metavar="N",
+        help="LRU bound on each session's retained partition cache "
+             "(default: unbounded; evicted partitions are rebuilt)",
+    )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
         "--port", type=int, default=8080,
@@ -271,6 +286,7 @@ def _request_from_args(args) -> DiscoveryRequest:
         time_limit_seconds=args.time_limit,
         batch_validation=not args.no_batch,
         num_workers=DiscoveryRequest.pin_workers(args.workers),
+        pipeline_validation=not args.no_pipeline,
     )
     if args.exact:
         return DiscoveryRequest.exact(**common)
@@ -304,6 +320,7 @@ def _cmd_sweep(args) -> int:
         time_limit_seconds=args.time_limit,
         batch_validation=not args.no_batch,
         num_workers=DiscoveryRequest.pin_workers(args.workers),
+        pipeline_validation=not args.no_pipeline,
     )
     start = time.perf_counter()
     with _session(relation, args) as session:
@@ -408,7 +425,11 @@ def _cmd_extend(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.service import ProfilerService, make_server
 
-    service = ProfilerService(backend=args.backend, num_workers=args.workers)
+    service = ProfilerService(
+        backend=args.backend, num_workers=args.workers,
+        max_memo_entries=args.max_memo_entries,
+        max_cached_partitions=args.max_cached_partitions,
+    )
     if args.demo:
         service.add_dataset("demo", employee_salary_table())
     for path in args.csv:

@@ -88,6 +88,15 @@ class DiscoveryConfig:
         take effect for the LNDS-based ``optimal`` validator on approximate
         runs — exact and iterative validation never consults the pool.
         Every worker count produces identical discovery results.
+    pipeline_validation:
+        Pipelined level validation (the default): with worker processes
+        active, every OC context group of a level is submitted to the pool
+        asynchronously and the coordinator validates the level's OFD
+        candidates (and builds their partitions) while the workers drain,
+        joining at the level barrier.  ``False`` restores the synchronous
+        group-at-a-time dispatch (kept for A/B benchmarking).  Both
+        schedules produce identical discovery results; without workers the
+        flag has no effect.
     """
 
     threshold: float = 0.0
@@ -102,6 +111,7 @@ class DiscoveryConfig:
     backend: Optional[object] = None
     batch_validation: bool = True
     num_workers: int = 1
+    pipeline_validation: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.threshold <= 1.0:
@@ -176,6 +186,7 @@ class DiscoveryRequest:
     prune_exhausted_nodes: bool = True
     batch_validation: bool = True
     num_workers: Optional[int] = None
+    pipeline_validation: bool = True
 
     def __post_init__(self) -> None:
         if self.attributes is not None:
@@ -226,7 +237,8 @@ class DiscoveryRequest:
                    self.time_limit_seconds),
                "a number or null")
         for name in ("find_ofds", "aggressive_ofd_pruning",
-                     "prune_exhausted_nodes", "batch_validation"):
+                     "prune_exhausted_nodes", "batch_validation",
+                     "pipeline_validation"):
             expect(name, getattr(self, name),
                    isinstance(getattr(self, name), bool), "a boolean")
 
@@ -289,6 +301,7 @@ class DiscoveryRequest:
             prune_exhausted_nodes=self.prune_exhausted_nodes,
             batch_validation=self.batch_validation,
             num_workers=effective_workers,
+            pipeline_validation=self.pipeline_validation,
             backend=backend,
             progress_callback=progress_callback,
         )
@@ -308,6 +321,7 @@ class DiscoveryRequest:
             prune_exhausted_nodes=config.prune_exhausted_nodes,
             batch_validation=config.batch_validation,
             num_workers=config.num_workers,
+            pipeline_validation=config.pipeline_validation,
         )
 
     # -- JSON boundary -----------------------------------------------------------

@@ -98,6 +98,9 @@ class DatasetExtended:
     must_revalidate: int
     #: Previously rejected candidates whose rejection no longer transfers.
     newly_possible: int
+    #: The session's dataset version the stream runs against (stamps the
+    #: worker pool's resident columns; 0 = never extended).
+    dataset_version: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -105,6 +108,7 @@ class DatasetExtended:
             "old_num_rows": self.old_num_rows,
             "new_num_rows": self.new_num_rows,
             "appended_rows": self.appended_rows,
+            "dataset_version": self.dataset_version,
             "affected_contexts": self.affected_contexts,
             "still_valid": self.still_valid,
             "must_revalidate": self.must_revalidate,

@@ -12,7 +12,12 @@ against it:
 * the **encoded relation** (order-preserving dictionary encoding),
 * a **partition cache** shared across runs and never evicted mid-session,
 * the **worker pool** (:class:`~repro.validation.distributed.ShardedValidationPool`),
-  spawned lazily and reused until :meth:`Profiler.close`,
+  spawned lazily and reused until :meth:`Profiler.close`, together with its
+  **column plane**: rank columns ship to each worker process once per
+  dataset version and stay resident there, so repeated runs (and the
+  pipelined scheduler's async group dispatches) send only column
+  references; :meth:`Profiler.extend` advances the resident columns by
+  shipping only the appended-row deltas,
 * a **validation memo** mapping candidates to their kernel outcomes, so a
   sweep revalidates only what a new removal budget actually changes
   (soundness rules in ``DiscoveryEngine._memo_lookup``; memoised runs stay
@@ -182,6 +187,13 @@ class Profiler:
         )
         self._pool = shard_pool
         self._owns_pool = shard_pool is None
+        #: Worker-resident column namespace over the pool (lazy; see
+        #: :class:`repro.validation.distributed.ColumnPlane`): rank columns
+        #: ship to each worker once per dataset version and survive across
+        #: runs; :meth:`extend` advances them by shipping only the deltas.
+        self._plane = None
+        #: Monotone dataset version: bumped by every :meth:`extend`.
+        self._dataset_version = 0
         self._closed = False
         self._active_streams = 0
         #: Every append applied to this session, in order.
@@ -354,9 +366,16 @@ class Profiler:
         )
         self.relation = new_relation
         self.encoded = extended
+        self._dataset_version += 1
+        if self._plane is not None:
+            # Advance the worker-resident columns: appended-mode columns
+            # ship only their delta ranks, remapped ones are dropped and
+            # re-shipped in full on next use — never a full re-broadcast.
+            self._plane.apply_delta(extended, modes, old_num_rows)
         summary = DeltaSummary(
             old_num_rows=old_num_rows,
             new_num_rows=new_relation.num_rows,
+            dataset_version=self._dataset_version,
             column_modes=modes,
             affected_contexts=tuple(sorted(affected_names, key=sorted)),
             dropped_contexts=tuple(sorted(dropped_names, key=sorted)),
@@ -437,6 +456,15 @@ class Profiler:
         """Every append applied to this session, oldest first."""
         return self._delta_log
 
+    @property
+    def dataset_version(self) -> int:
+        """How many times :meth:`extend` has advanced this session's data.
+
+        The same version stamps the worker pool's resident columns, so a
+        reused pool can never serve a run from columns of another version.
+        """
+        return self._dataset_version
+
     def _baseline(self, request_key: str) -> Optional[_Baseline]:
         return self._baselines.get(request_key)
 
@@ -464,6 +492,9 @@ class Profiler:
         )
         info["backend"] = self.backend.name
         info["num_appends"] = len(self._delta_log)
+        info["dataset_version"] = self._dataset_version
+        if self._pool is not None and not self._pool.closed:
+            info["worker_pool"] = dict(self._pool.stats)
         return info
 
     @property
@@ -479,6 +510,11 @@ class Profiler:
         behind, no matter how the session's runs ended (exceptions,
         cancellations, time limits); an externally-supplied pool is left
         to its owner."""
+        if self._plane is not None and not self._owns_pool:
+            # A shared pool outlives this session: free the worker-resident
+            # columns of this dataset so the host can keep the pool warm.
+            self._plane.release()
+        self._plane = None
         if self._pool is not None and self._owns_pool:
             self._pool.close()
         self._pool = None
@@ -507,10 +543,10 @@ class Profiler:
             num_workers=self.num_workers,
             progress_callback=progress_callback,
         )
-        pool = None
+        plane = None
         if config_uses_shard_pool(config):
             if config.num_workers == self.num_workers:
-                pool = self._ensure_pool()
+                plane = self._ensure_plane()
             # else: the request pinned a different worker count — the
             # engine spawns (and closes) a pool of its own for this one
             # run rather than thrashing the session's warm pool.
@@ -518,7 +554,7 @@ class Profiler:
             self.relation,
             config,
             partitions=self.partitions,
-            shard_pool=pool,
+            column_plane=plane,
             validation_memo=self._memo,
         )
 
@@ -531,3 +567,9 @@ class Profiler:
             )
             self._owns_pool = True
         return self._pool
+
+    def _ensure_plane(self):
+        pool = self._ensure_pool()
+        if self._plane is None:
+            self._plane = pool.new_plane(self.encoded)
+        return self._plane

@@ -49,6 +49,10 @@ class DiscoveryStatistics:
     batched: bool = True
     #: Worker processes sharding batched OC validation (1 = in-process).
     num_workers: int = 1
+    #: Whether level validation was pipelined (OC groups submitted to the
+    #: worker pool asynchronously, OFD validation overlapped).  Always
+    #: ``False`` for in-process runs, which have nothing to overlap with.
+    pipelined: bool = False
     #: Context groups dispatched through the batched OC kernel path.
     oc_batches: int = 0
     #: Context groups dispatched through the batched OFD kernel path.
@@ -91,6 +95,7 @@ class DiscoveryStatistics:
             "backend": self.backend,
             "batched": self.batched,
             "num_workers": self.num_workers,
+            "pipelined": self.pipelined,
             "oc_batches": self.oc_batches,
             "ofd_batches": self.ofd_batches,
         }

@@ -29,6 +29,10 @@ class DeltaSummary:
 
     old_num_rows: int
     new_num_rows: int
+    #: The session's dataset version after this append (bumped by every
+    #: :meth:`Profiler.extend`; also stamps the worker pool's resident
+    #: columns, so stale worker state can never serve a newer version).
+    dataset_version: int = 0
     #: Attribute name -> ``"appended"`` / ``"remapped"`` (see
     #: :meth:`repro.dataset.encoding.EncodedRelation.extend`).
     column_modes: Dict[str, str] = field(default_factory=dict)
@@ -56,6 +60,7 @@ class DeltaSummary:
             "old_num_rows": self.old_num_rows,
             "new_num_rows": self.new_num_rows,
             "num_appended": self.num_appended,
+            "dataset_version": self.dataset_version,
             "column_modes": dict(self.column_modes),
             "affected_contexts": sorted(
                 sorted(context) for context in self.affected_contexts

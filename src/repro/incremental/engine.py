@@ -290,6 +290,7 @@ class IncrementalEngine:
                 old_num_rows=deltas[0].old_num_rows,
                 new_num_rows=self.profiler.relation.num_rows,
                 appended_rows=sum(delta.num_appended for delta in deltas),
+                dataset_version=self.profiler.dataset_version,
                 affected_contexts=len({
                     context
                     for delta in deltas

@@ -70,9 +70,20 @@ class ServiceError(Exception):
 class ProfilerService:
     """A registry of named datasets, each backed by one warm session."""
 
-    def __init__(self, *, backend=None, num_workers: int = 1) -> None:
+    def __init__(
+        self,
+        *,
+        backend=None,
+        num_workers: int = 1,
+        max_memo_entries: Optional[int] = None,
+        max_cached_partitions: Optional[int] = None,
+    ) -> None:
         self._backend = backend
         self._num_workers = num_workers
+        # Per-session memory bounds, forwarded to every dataset's Profiler
+        # (LRU eviction; evicted state is recomputed, results never change).
+        self._max_memo_entries = max_memo_entries
+        self._max_cached_partitions = max_cached_partitions
         self._profilers: Dict[str, Profiler] = {}
         self._locks: Dict[str, threading.Lock] = {}
         self._pool = None
@@ -107,6 +118,8 @@ class ProfilerService:
         profiler = Profiler(
             relation, backend=self._backend, num_workers=self._num_workers,
             shard_pool=self._pool,
+            max_memo_entries=self._max_memo_entries,
+            max_cached_partitions=self._max_cached_partitions,
         )
         self._profilers[name] = profiler
         self._locks[name] = threading.Lock()

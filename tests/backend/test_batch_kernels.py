@@ -142,6 +142,58 @@ class TestOcCountBatch:
         assert ref == got
 
 
+class TestExactHoldsBatch:
+    """The batched exact checks must equal the single-candidate checks —
+    across both backends, and for numpy against the python reference."""
+
+    def test_oc_holds_batch_matches_single_and_reference(self):
+        rng = random.Random(777)
+        py, nq = get_backend("python"), get_backend("numpy")
+        for _ in range(40):
+            n = rng.randrange(4, 120)
+            classes, pairs = _random_instance(rng, n)
+            ref = [py.oc_holds(classes, a, b) for a, b in pairs]
+            assert py.oc_holds_batch(classes, pairs) == ref
+            native = _native_pairs(nq, pairs)
+            got = nq.oc_holds_batch(classes, native)
+            assert got == ref
+            for (a, b), holds in zip(native, got):
+                assert nq.oc_holds(classes, a, b) == holds
+
+    def test_ofd_holds_batch_matches_single_and_reference(self):
+        rng = random.Random(778)
+        py, nq = get_backend("python"), get_backend("numpy")
+        for _ in range(40):
+            n = rng.randrange(4, 120)
+            classes, pairs = _random_instance(rng, n)
+            rhs = [a for a, _ in pairs]
+            ref = [py.ofd_holds(classes, ranks) for ranks in rhs]
+            assert py.ofd_holds_batch(classes, rhs) == ref
+            rhs_native = [nq.to_native(r) for r in rhs]
+            got = nq.ofd_holds_batch(classes, rhs_native)
+            assert got == ref
+            for ranks, holds in zip(rhs_native, got):
+                assert nq.ofd_holds(classes, ranks) == holds
+
+    def test_constant_rhs_holds(self):
+        classes = [[0, 1], [2, 3, 4]]
+        for backend_name in BACKENDS:
+            backend = get_backend(backend_name)
+            constant = backend.to_native([7] * 5)
+            varying = backend.to_native([0, 1, 0, 0, 0])
+            assert backend.ofd_holds_batch(classes, [constant, varying]) \
+                == [True, False]
+
+    def test_empty_inputs(self):
+        for backend_name in BACKENDS:
+            backend = get_backend(backend_name)
+            assert backend.oc_holds_batch([], []) == []
+            assert backend.ofd_holds_batch([], []) == []
+            ranks = backend.to_native([0, 1, 2])
+            assert backend.oc_holds_batch([], [(ranks, ranks)]) == [True]
+            assert backend.ofd_holds_batch([], [ranks]) == [True]
+
+
 class TestOfdRemovalBatch:
     def test_backends_agree_and_match_single(self):
         rng = random.Random(4321)

@@ -1,0 +1,207 @@
+"""Pipelined level validation must be invisible in results.
+
+Acceptance bars from the PR-5 issue:
+
+* pipelined vs synchronous worker scheduling produces identical
+  ``DiscoveryResult``s *including the statistics counters*;
+* after ``Profiler.extend``, a reused worker pool serves the new dataset
+  version correctly — extend → discover is byte-identical to a cold
+  discovery over the concatenated table, workers on, both backends;
+* an interrupted pipelined run leaves the session's pool usable.
+"""
+
+import pytest
+
+from repro.backend import available_backends
+from repro.dataset.generators import generate_flight_like
+from repro.dataset.relation import Relation
+from repro.discovery.api import discover
+from repro.discovery.config import DiscoveryConfig, DiscoveryRequest
+from repro.discovery.session import CancellationToken, Profiler
+
+BACKENDS = available_backends()
+
+#: Statistics fields that must be identical across scheduling modes (the
+#: timers and the mode flag itself are the only legitimate differences).
+COUNTER_FIELDS = (
+    "oc_candidates_validated", "ofd_candidates_validated",
+    "oc_candidates_pruned", "ofd_candidates_pruned",
+    "nodes_processed", "nodes_pruned", "levels_processed",
+    "nodes_per_level", "timed_out", "cancelled", "validation_memo_hits",
+    "backend", "batched", "num_workers", "oc_batches", "ofd_batches",
+)
+
+
+def _relation():
+    return generate_flight_like(
+        300, num_attributes=6, error_rate=0.1, seed=3
+    ).relation
+
+
+RELATION = _relation()
+
+
+def _assert_identical(result, reference):
+    assert result.ocs == reference.ocs
+    assert result.ofds == reference.ofds
+    for name in COUNTER_FIELDS:
+        assert getattr(result.stats, name) == getattr(reference.stats, name), name
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("num_workers", [2, 4])
+def test_pipelined_equals_synchronous(backend, num_workers):
+    synchronous = discover(
+        RELATION,
+        DiscoveryConfig(threshold=0.1, backend=backend,
+                        num_workers=num_workers, pipeline_validation=False),
+    )
+    pipelined = discover(
+        RELATION,
+        DiscoveryConfig(threshold=0.1, backend=backend,
+                        num_workers=num_workers, pipeline_validation=True),
+    )
+    _assert_identical(pipelined, synchronous)
+    assert pipelined.stats.pipelined and not synchronous.stats.pipelined
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pipelined_equals_per_candidate_reference(backend):
+    reference = discover(
+        RELATION,
+        DiscoveryConfig(threshold=0.1, backend=backend, batch_validation=False),
+    )
+    pipelined = discover(
+        RELATION, DiscoveryConfig(threshold=0.1, backend=backend, num_workers=2)
+    )
+    assert pipelined.ocs == reference.ocs
+    assert pipelined.ofds == reference.ofds
+
+
+def test_pipelined_inert_without_workers():
+    result = discover(RELATION, DiscoveryConfig(threshold=0.1))
+    assert not result.stats.pipelined
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_extend_then_discover_on_reused_pool_matches_cold(backend, monkeypatch):
+    """Worker column-cache invalidation: after ``Profiler.extend`` the
+    session's warm pool must serve the new dataset version — byte-identical
+    to a cold session over the concatenated table, same worker count."""
+    from repro.validation.distributed import ShardedValidationPool
+
+    # The workload is small; force every group through the workers so the
+    # resident-column path (not the in-process shortcut) is what's tested.
+    monkeypatch.setattr(ShardedValidationPool, "INLINE_GROUP_COST", 0)
+    monkeypatch.setattr(ShardedValidationPool, "MIN_SHARD_COST", 1)
+    base = generate_flight_like(
+        260, num_attributes=6, error_rate=0.1, seed=7
+    ).relation
+    donor = generate_flight_like(
+        300, num_attributes=6, error_rate=0.1, seed=13
+    ).relation
+    delta_rows = [donor.row(i) for i in range(260, 300)]
+    request = DiscoveryRequest(threshold=0.1)
+
+    with Profiler(base, backend=backend, num_workers=2) as session:
+        warm_before = session.discover(request)
+        assert warm_before.stats.num_workers == 2
+        session.extend(delta_rows)
+        assert session.dataset_version == 1
+        warm_after = session.discover(request)
+        incremental = session.discover_incremental(request)
+        pool_stats = dict(session.cache_info()["worker_pool"])
+
+    concatenated = base.concat(Relation(
+        base.schema,
+        {
+            name: [row[index] for row in delta_rows]
+            for index, name in enumerate(base.attribute_names)
+        },
+    ))
+    with Profiler(concatenated, backend=backend, num_workers=2) as cold:
+        cold_result = cold.discover(request)
+
+    assert warm_after.ocs == cold_result.ocs
+    assert warm_after.ofds == cold_result.ofds
+    assert incremental.result.ocs == cold_result.ocs
+    assert incremental.result.ofds == cold_result.ofds
+    # The extend travelled to the workers as a delta, and the reused pool
+    # never re-shipped columns wholesale for appended-mode columns.
+    assert pool_stats["deltas"] == 1
+    assert pool_stats["column_refs"] > 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_repeated_extends_keep_reused_pool_correct(backend):
+    """Several appends in a row: every discover between them must agree
+    with a cold run (regression for stale resident columns)."""
+    base = generate_flight_like(
+        200, num_attributes=5, error_rate=0.1, seed=17
+    ).relation
+    donor = generate_flight_like(
+        260, num_attributes=5, error_rate=0.1, seed=19
+    ).relation
+    request = DiscoveryRequest(threshold=0.12)
+    with Profiler(base, backend=backend, num_workers=2) as session:
+        session.discover(request)
+        for step, stop in enumerate((220, 240, 260), start=1):
+            start = stop - 20
+            session.extend([donor.row(i) for i in range(start, stop)])
+            assert session.dataset_version == step
+            warm = session.discover(request)
+            cold = discover(
+                session.relation,
+                DiscoveryConfig(threshold=0.12, backend=backend),
+            )
+            assert warm.ocs == cold.ocs
+            assert warm.ofds == cold.ofds
+
+
+def test_cancelled_pipelined_run_leaves_pool_usable():
+    """Cancel mid-run: the in-flight worker groups are abandoned and the
+    session's next run on the same pool is complete and correct."""
+    relation = generate_flight_like(
+        400, num_attributes=7, error_rate=0.1, seed=5
+    ).relation
+    request = DiscoveryRequest(threshold=0.1)
+    with Profiler(relation, num_workers=2) as session:
+        token = CancellationToken()
+        seen_levels = 0
+        for event in session.iter_events(request, cancellation=token):
+            if type(event).__name__ == "LevelCompleted":
+                seen_levels += 1
+                if seen_levels == 1:
+                    token.cancel()
+        rerun = session.discover(request)
+        assert not rerun.cancelled
+    reference = discover(relation, DiscoveryConfig(threshold=0.1))
+    assert rerun.ocs == reference.ocs
+    assert rerun.ofds == reference.ofds
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_exact_discovery_batched_through_holds_batch(backend):
+    """Exact mode now routes through the group-level holds kernels; results
+    and counters must keep matching the per-candidate reference."""
+    reference = discover(
+        RELATION,
+        DiscoveryConfig.exact(backend=backend, batch_validation=False),
+    )
+    batched = discover(RELATION, DiscoveryConfig.exact(backend=backend))
+    assert batched.ocs == reference.ocs
+    assert batched.ofds == reference.ofds
+    for name in ("oc_candidates_validated", "ofd_candidates_validated",
+                 "oc_candidates_pruned", "ofd_candidates_pruned",
+                 "nodes_per_level"):
+        assert getattr(batched.stats, name) == getattr(reference.stats, name)
+
+
+def test_pipeline_flag_round_trips_through_request():
+    request = DiscoveryRequest(threshold=0.1, pipeline_validation=False)
+    assert not request.to_config().pipeline_validation
+    rebuilt = DiscoveryRequest.from_json(request.to_json())
+    assert rebuilt == request
+    assert DiscoveryRequest.from_config(
+        DiscoveryConfig(pipeline_validation=False)
+    ).pipeline_validation is False

@@ -28,10 +28,15 @@ class TestParser:
     def test_discover_scheduling_flags(self):
         args = build_parser().parse_args(["discover", "data.csv"])
         assert args.workers == 1 and not args.no_batch
+        assert not args.no_pipeline
         args = build_parser().parse_args(
             ["discover", "data.csv", "--workers", "4", "--no-batch"]
         )
         assert args.workers == 4 and args.no_batch
+        args = build_parser().parse_args(
+            ["discover", "data.csv", "--workers", "2", "--no-pipeline"]
+        )
+        assert args.no_pipeline
 
     def test_sweep_defaults(self):
         args = build_parser().parse_args(["sweep", "data.csv"])
@@ -51,6 +56,16 @@ class TestParser:
         assert args.command == "serve"
         assert args.csv == ["a.csv", "b.csv"]
         assert args.port == 0 and args.workers == 2
+        assert args.max_memo_entries is None
+        assert args.max_cached_partitions is None
+
+    def test_serve_session_bounds(self):
+        args = build_parser().parse_args(
+            ["serve", "a.csv", "--max-memo-entries", "500",
+             "--max-cached-partitions", "16"]
+        )
+        assert args.max_memo_entries == 500
+        assert args.max_cached_partitions == 16
 
 
 class TestLegacyForm:

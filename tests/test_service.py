@@ -197,6 +197,16 @@ class TestProfilerService:
         assert excinfo.value.status == 404
         service.close()
 
+    def test_session_bounds_reach_profilers(self):
+        service = ProfilerService(max_memo_entries=7, max_cached_partitions=3)
+        profiler = service.add_dataset("a", employee_salary_table())
+        assert profiler.validation_memo.max_entries == 7
+        assert profiler.partitions._cache.max_entries == 3
+        result = service.discover("a", DiscoveryRequest(threshold=0.15))
+        assert result.num_ocs > 0
+        assert len(profiler.validation_memo) <= 7
+        service.close()
+
     def test_datasets_share_one_worker_pool(self):
         service = ProfilerService(num_workers=2)
         a = service.add_dataset("a", employee_salary_table())
