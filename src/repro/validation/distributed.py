@@ -8,7 +8,7 @@ its share of the classes locally and ship only a removal *count* (or the
 removal rows, for repair) to the coordinator, which adds them up and applies
 the global threshold.
 
-Two execution modes are provided:
+Two execution modes are provided for the single-candidate entry point:
 
 * ``"simulated"`` — workers run in-process.  This exercises and tests the
   partitioning / merging logic (which classes go where, how counts combine)
@@ -19,19 +19,59 @@ Two execution modes are provided:
   coordinator merges the reports exactly as in the simulated mode, so both
   modes (and every worker count) produce identical results.
 
-:class:`ShardedValidationPool` is the engine-facing variant: the
-level-synchronous scheduler hands it whole context groups (one shared
-context, many candidate rank pairs) and it shards the context's classes
-across a persistent process pool with :func:`assign_classes_to_workers`,
-merging per-shard removal counts by summation.
+The worker-resident column plane
+--------------------------------
+
+:class:`ShardedValidationPool` is the engine-facing variant: persistent
+worker processes, each running a small message loop, validate whole context
+groups (one shared context, many candidate rank pairs).  Groups below a
+cost floor run in-process; larger ones split into contiguous,
+cost-balanced class shards (``_plan_shards``) dispatched to the
+least-loaded workers.  The coordinator merges per-shard removal counts by
+summation, which is order-independent, so results are identical for every
+worker count and scheduling mode.
+
+What makes the pool pay off below ~100k rows is that rank columns are
+*worker-resident*: each worker process keeps a cache of rank columns keyed
+by ``(plane, version, attribute)``, so a column crosses the process
+boundary **at most once per worker per dataset version** — group dispatches
+after the first send only compact column *references* plus the shard's
+class offsets (:class:`ClassShard`).  A :class:`ColumnPlane` is the
+coordinator-side handle for one dataset's columns: it tracks the current
+:class:`~repro.dataset.encoding.EncodedRelation` and version, and its
+:meth:`ColumnPlane.apply_delta` integrates with incremental maintenance —
+after :meth:`repro.discovery.session.Profiler.extend` the workers receive
+only the appended-row deltas (mirroring ``EncodedRelation.extend``'s
+``"appended"`` fast path), never a full re-broadcast; remapped columns are
+dropped and re-shipped lazily on next use.
+
+Dispatch is asynchronous: :meth:`ColumnPlane.submit` enqueues a group's
+shard jobs and returns a :class:`PendingGroup` immediately;
+:meth:`ColumnPlane.harvest` blocks until the group's shards are merged.
+The discovery engine uses this seam to overlap coordinator-side work
+(OFD validation, partition building, memo bookkeeping) with in-flight
+worker validation — see ``repro.discovery.engine``.
+
+The pool is a context manager and :meth:`ShardedValidationPool.close` is
+idempotent.  Its owner is whoever constructed it: a
+:class:`~repro.discovery.session.Profiler` session keeps one pool warm
+across runs and closes it in ``Profiler.close()``; a standalone engine
+spawns its own and shuts it down in the ``finally`` of its event stream, so
+worker processes never outlive the run that needed them — including runs
+that raise, get cancelled, or hit their time limit.
 """
 
 from __future__ import annotations
 
+import queue as queue_module
+import time as time_module
+import traceback
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.backend import BackendSpec, resolve_backend
+from repro.dataset.encoding import EXTEND_APPENDED
 from repro.dataset.partition import PartitionCache
 from repro.dataset.relation import Relation
 from repro.dependencies.oc import CanonicalOC
@@ -77,6 +117,12 @@ class DistributedValidationOutcome:
         return max(report.num_rows for report in self.worker_reports) / total
 
 
+def _class_cost(class_rows: Sequence[int]) -> float:
+    """Validation cost estimate of one class in ``m log m`` units."""
+    size = len(class_rows)
+    return size * (1 + max(size, 2).bit_length())
+
+
 def assign_classes_to_workers(
     classes: Sequence[Sequence[int]], num_workers: int
 ) -> List[List[Sequence[int]]]:
@@ -92,11 +138,9 @@ def assign_classes_to_workers(
     loads = [0.0] * num_workers
     ordered = sorted(classes, key=len, reverse=True)
     for class_rows in ordered:
-        size = len(class_rows)
-        cost = size * (1 + max(size, 2).bit_length())
         target = loads.index(min(loads))
         assignments[target].append(class_rows)
-        loads[target] += cost
+        loads[target] += _class_cost(class_rows)
     return assignments
 
 
@@ -109,21 +153,308 @@ def _worker_removal_rows(backend, assigned, a_ranks, b_ranks) -> List[int]:
     return removal
 
 
-def _shard_oc_counts(backend, shard, columns, pair_refs, limit):
-    """One worker's share of the batched count kernel over a class shard."""
-    rank_pairs = [(columns[a], columns[b]) for a, b in pair_refs]
-    return backend.oc_optimal_removal_count_batch(shard, rank_pairs, limit)
+class ClassShard:
+    """Compact, picklable transport of one worker's share of classes.
+
+    The coordinator packs a shard's equivalence classes either as plain row
+    lists (reference backend) or as two flat arrays — concatenated rows plus
+    per-class lengths (*class offsets*) — whose binary pickle is a fraction
+    of a list-of-lists'.  On the worker the shard quacks like a class
+    sequence for the row-at-a-time kernels (``len`` / iteration) and exposes
+    :meth:`columnar_view` for the vectorised NumPy kernels, which consume
+    the flat arrays directly without ever materialising per-class lists.
+    """
+
+    __slots__ = ("_class_lists", "_rows", "_lengths", "_view")
+
+    def __init__(self, class_lists=None, rows=None, lengths=None) -> None:
+        self._class_lists = class_lists
+        self._rows = rows
+        self._lengths = lengths
+        self._view = None
+
+    @classmethod
+    def pack(cls, class_lists: Sequence[Sequence[int]], as_arrays: bool) -> "ClassShard":
+        """Pack classes for transport (``as_arrays`` for array backends)."""
+        if not as_arrays:
+            return cls(class_lists=[list(rows) for rows in class_lists])
+        import numpy as np
+
+        lengths = np.fromiter(
+            (len(rows) for rows in class_lists), dtype=np.int64,
+            count=len(class_lists),
+        )
+        total = int(lengths.sum())
+        rows = np.fromiter(
+            chain.from_iterable(class_lists), dtype=np.int32, count=total
+        )
+        return cls(rows=rows, lengths=lengths)
+
+    def __len__(self) -> int:
+        if self._class_lists is not None:
+            return len(self._class_lists)
+        return int(self._lengths.size)
+
+    def __iter__(self):
+        if self._class_lists is None:
+            import numpy as np
+
+            offsets = np.concatenate(([0], np.cumsum(self._lengths)))
+            self._class_lists = [
+                self._rows[offsets[i]:offsets[i + 1]].tolist()
+                for i in range(self._lengths.size)
+            ]
+        return iter(self._class_lists)
+
+    def columnar_view(self):
+        """``(rows, class_ids, lengths)`` int64 arrays (the NumPy backend's
+        flattened class layout — see ``NumpyBackend._columnar_classes``)."""
+        if self._view is None:
+            import numpy as np
+
+            if self._rows is not None:
+                rows = self._rows.astype(np.int64)
+                lengths = self._lengths
+            else:
+                lengths = np.fromiter(
+                    (len(rows) for rows in self._class_lists), dtype=np.int64,
+                    count=len(self._class_lists),
+                )
+                rows = np.fromiter(
+                    chain.from_iterable(self._class_lists), dtype=np.int64,
+                    count=int(lengths.sum()),
+                )
+            class_ids = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+            self._view = (rows, class_ids, lengths)
+        return self._view
+
+    def __getstate__(self):
+        return (self._class_lists, self._rows, self._lengths)
+
+    def __setstate__(self, state) -> None:
+        self._class_lists, self._rows, self._lengths = state
+        self._view = None
+
+
+def _extend_resident_column(column, appended_ranks):
+    """Append delta ranks to a worker-resident column (list or ndarray)."""
+    if isinstance(column, list):
+        return column + list(appended_ranks)
+    import numpy as np
+
+    return np.concatenate(
+        [column, np.asarray(appended_ranks, dtype=column.dtype)]
+    )
+
+
+def _plane_worker_main(task_queue, result_queue, backend) -> None:
+    """Message loop of one persistent pool worker process.
+
+    The worker keeps its column cache across jobs: ``columns`` maps
+    ``(plane_id, attribute)`` to ``(version, column)``.  Job messages carry
+    only the columns this worker does not already hold at the job's version;
+    delta messages extend cached columns in place (the appended-rows fast
+    path) or drop them (remapped / stale versions, re-shipped on next use).
+    """
+    columns: Dict[Tuple[int, str], Tuple[int, object]] = {}
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "job":
+            _, job_id, plane_id, version, shard, pair_names, limit, shipped = message
+            try:
+                if plane_id is None:
+                    resolved = shipped
+                else:
+                    for name, column in shipped.items():
+                        columns[(plane_id, name)] = (version, column)
+                    resolved = {}
+                    for name in set(chain.from_iterable(pair_names)):
+                        entry = columns.get((plane_id, name))
+                        if entry is None or entry[0] != version:
+                            raise RuntimeError(
+                                f"worker is missing column {name!r} at "
+                                f"dataset version {version} (coordinator "
+                                "bookkeeping out of sync)"
+                            )
+                        resolved[name] = entry[1]
+                pairs = [(resolved[a], resolved[b]) for a, b in pair_names]
+                outcome = backend.oc_optimal_removal_count_batch(
+                    shard, pairs, limit
+                )
+                result_queue.put(("result", job_id, outcome))
+            except BaseException:
+                result_queue.put(("error", job_id, traceback.format_exc()))
+        elif kind == "delta":
+            _, plane_id, old_version, new_version, appended, _dropped = message
+            for key in [k for k in columns if k[0] == plane_id]:
+                version, column = columns[key]
+                name = key[1]
+                if version == old_version and name in appended:
+                    columns[key] = (
+                        new_version,
+                        _extend_resident_column(column, appended[name]),
+                    )
+                else:
+                    del columns[key]
+        elif kind == "release":
+            plane_id = message[1]
+            for key in [k for k in columns if k[0] == plane_id]:
+                del columns[key]
+
+
+class _WorkerHandle:
+    """Coordinator-side handle for one persistent worker process."""
+
+    __slots__ = ("process", "queue", "columns", "load")
+
+    def __init__(self, ctx, backend, result_queue) -> None:
+        self.queue = ctx.Queue()
+        self.process = ctx.Process(
+            target=_plane_worker_main,
+            args=(self.queue, result_queue, backend),
+            daemon=True,
+        )
+        self.process.start()
+        #: ``(plane_id, attribute) -> version`` the worker holds resident.
+        self.columns: Dict[Tuple[int, str], int] = {}
+        #: Estimated cost of the worker's in-flight shards (load balancing).
+        self.load = 0.0
+
+
+@dataclass
+class PendingGroup:
+    """One in-flight context group: harvest (or abandon) to settle it.
+
+    ``jobs`` holds ``(job_id, worker, cost)`` per dispatched shard; merging
+    is summation per pair, so harvest order never affects results.  A group
+    too small to be worth a process round-trip is validated in-process at
+    submission and carries its finished ``inline`` result instead.
+    """
+
+    num_pairs: int
+    limit: Optional[int]
+    jobs: List[Tuple[int, _WorkerHandle, float]] = field(default_factory=list)
+    inline: Optional[List[Tuple[int, bool]]] = None
+
+
+class ColumnPlane:
+    """Coordinator-side handle for one dataset's worker-resident columns.
+
+    A plane names a namespace inside a pool's worker caches: columns are
+    keyed by ``(plane_id, attribute)`` and stamped with the plane's current
+    ``version``.  :meth:`bind` points the plane at an encoding (a no-op when
+    unchanged); :meth:`apply_delta` bumps the version after a row append,
+    shipping only the appended ranks; :meth:`release` frees the resident
+    columns when the dataset's session closes while the (shared) pool lives
+    on.
+    """
+
+    def __init__(self, pool: "ShardedValidationPool", encoded=None) -> None:
+        self._pool = pool
+        self.plane_id = pool._register_plane()
+        self.version = 0
+        self._encoded = encoded
+        self._released = False
+
+    @property
+    def pool(self) -> "ShardedValidationPool":
+        return self._pool
+
+    @property
+    def num_rows(self) -> int:
+        return 0 if self._encoded is None else self._encoded.num_rows
+
+    def bind(self, encoded) -> None:
+        """Point the plane at ``encoded``.
+
+        Binding the encoding object the plane already tracks is free; a
+        *different* object means the resident columns describe some other
+        table state, so they are invalidated wholesale (the per-row delta
+        path is :meth:`apply_delta`).
+        """
+        if self._encoded is encoded:
+            return
+        if self._encoded is not None:
+            self._pool.invalidate_plane(self.plane_id)
+            self.version += 1
+        self._encoded = encoded
+
+    def column(self, name: str):
+        """The current native rank column for ``name``."""
+        if self._encoded is None:
+            raise RuntimeError("ColumnPlane is not bound to an encoding")
+        return self._encoded.native_ranks(name)
+
+    def apply_delta(self, extended, modes: Dict[str, str], old_num_rows: int) -> None:
+        """Advance the plane to a delta-extended encoding.
+
+        ``extended`` / ``modes`` are :meth:`EncodedRelation.extend`'s
+        outputs.  Columns the extend *appended* to ship only their appended
+        ranks — each worker patches its resident copy in place; *remapped*
+        columns (and columns a worker holds at the wrong version) are
+        dropped and re-shipped in full on next use.
+        """
+        appended = {
+            name: extended.ranks(name)[old_num_rows:]
+            for name, mode in modes.items()
+            if mode == EXTEND_APPENDED
+        }
+        dropped = sorted(
+            name for name, mode in modes.items() if mode != EXTEND_APPENDED
+        )
+        old_version = self.version
+        self.version += 1
+        self._pool.apply_plane_delta(
+            self.plane_id, old_version, self.version, appended, dropped
+        )
+        self._encoded = extended
+
+    def submit(self, classes, pair_names, limit: Optional[int] = None) -> PendingGroup:
+        """Dispatch one context group asynchronously (see pool docs)."""
+        return self._pool.submit_oc_group(self, classes, pair_names, limit)
+
+    def harvest(self, pending: PendingGroup) -> List[Tuple[int, bool]]:
+        """Block until ``pending``'s shards merged; returns per-pair counts."""
+        return self._pool.harvest(pending)
+
+    def abandon(self, pending: PendingGroup) -> None:
+        """Drop an in-flight group's results (interrupted runs)."""
+        self._pool.abandon(pending)
+
+    def oc_counts_batch(
+        self, classes, pair_names, limit: Optional[int] = None
+    ) -> List[Tuple[int, bool]]:
+        """Synchronous submit + harvest convenience."""
+        return self.harvest(self.submit(classes, pair_names, limit))
+
+    def release(self) -> None:
+        """Free this plane's worker-resident columns (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        if not self._pool.closed:
+            self._pool.invalidate_plane(self.plane_id)
 
 
 class ShardedValidationPool:
-    """Persistent process pool sharding batched OC validation by class.
+    """Persistent worker processes sharding batched OC validation by class.
 
-    The discovery engine creates one pool per run (``num_workers > 1``) and
-    feeds it whole context groups.  Classes are sharded with
-    :func:`assign_classes_to_workers`; every shard runs the backend's
+    The discovery engine (or a :class:`~repro.discovery.session.Profiler`
+    session, or ``repro serve`` across *all* its datasets) feeds the pool
+    whole context groups.  A group below :data:`INLINE_GROUP_COST` is
+    validated in-process; a larger one is split by :meth:`_plan_shards`
+    into at most ``num_workers`` contiguous, cost-balanced class shards (no
+    shard below :data:`MIN_SHARD_COST`) dispatched to the currently
+    least-loaded workers — :func:`assign_classes_to_workers`'s LPT
+    assignment serves only the single-candidate
+    :func:`validate_aoc_distributed` path.  Every shard runs the backend's
     :meth:`~repro.backend.base.ComputeBackend.oc_optimal_removal_count_batch`
     and the coordinator sums the per-shard counts.  Summation is
-    order-independent, so results are identical for every worker count.
+    order-independent, so results are identical for every worker count and
+    shard composition.
 
     A shard that exceeds ``limit`` on its own proves the candidate invalid,
     so ``limit`` is forwarded to the workers as a per-shard early-exit
@@ -131,30 +462,165 @@ class ShardedValidationPool:
     above ``limit`` (permitted by the batch-kernel contract in
     ``repro.backend.base``).
 
-    The pool is a context manager and :meth:`close` is idempotent.  Its
-    owner is whoever constructed it: a
-    :class:`~repro.discovery.session.Profiler` session keeps one pool warm
-    across runs and closes it in ``Profiler.close()``; a standalone engine
-    spawns its own and shuts it down in the ``finally`` of its event
-    stream, so worker processes never outlive the run that needed them —
-    including runs that raise, get cancelled, or hit their time limit.
+    Rank columns travel through :class:`ColumnPlane` namespaces and stay
+    resident in the worker processes (see the module docstring); the
+    ``stats`` dict counts ``columns_shipped`` vs ``column_refs`` so callers
+    can observe the ship-once behaviour.  :meth:`oc_counts_batch` remains as
+    the plane-less path for ad-hoc column pairs: columns ship with every
+    dispatch, exactly like the pre-plane pool.
+
+    Dispatch and bookkeeping are guarded by one coordinator-side lock, so
+    multiple threads may drive the pool concurrently (``repro serve``
+    shares one pool across its per-dataset handler threads); blocking
+    result waits happen *outside* the lock, so one dataset's harvest never
+    stalls another's dispatch.
     """
 
     def __init__(self, num_workers: int, backend: BackendSpec = None) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
-        from concurrent.futures import ProcessPoolExecutor
+        import multiprocessing
+        import threading
 
+        ctx = multiprocessing.get_context()
         self.num_workers = num_workers
         self.backend = resolve_backend(backend)
-        self._executor: Optional[object] = ProcessPoolExecutor(
-            max_workers=num_workers
-        )
+        self._pack_arrays = self.backend.name == "numpy"
+        self._result_queue = ctx.Queue()
+        self._workers: Optional[List[_WorkerHandle]] = [
+            _WorkerHandle(ctx, self.backend, self._result_queue)
+            for _ in range(num_workers)
+        ]
+        #: Buffered results for jobs harvested out of completion order.
+        self._results: Dict[int, Tuple[str, object]] = {}
+        #: Abandoned job ids whose results are dropped on arrival.
+        self._discarded: set = set()
+        #: Serialises dispatch bookkeeping (job ids, per-worker column
+        #: sets, load accounting, queue puts) across coordinator threads.
+        self._lock = threading.Lock()
+        self._next_job_id = 0
+        self._next_plane_id = 0
+        self.stats: Dict[str, int] = {
+            "groups": 0,
+            "jobs": 0,
+            "inline_groups": 0,
+            "columns_shipped": 0,
+            "column_refs": 0,
+            "deltas": 0,
+        }
 
     @property
     def closed(self) -> bool:
         """Whether the worker processes have been shut down."""
-        return self._executor is None
+        return self._workers is None
+
+    def _require_open(self) -> None:
+        if self._workers is None:
+            raise RuntimeError("ShardedValidationPool is closed")
+
+    # -- column planes -----------------------------------------------------------
+
+    def _register_plane(self) -> int:
+        with self._lock:
+            self._next_plane_id += 1
+            return self._next_plane_id
+
+    def new_plane(self, encoded=None) -> ColumnPlane:
+        """Create a :class:`ColumnPlane` namespace over this pool."""
+        self._require_open()
+        return ColumnPlane(self, encoded)
+
+    def apply_plane_delta(
+        self, plane_id: int, old_version: int, new_version: int,
+        appended: Dict[str, Sequence[int]], dropped: Sequence[str],
+    ) -> None:
+        """Ship a dataset delta to every worker (see
+        :meth:`ColumnPlane.apply_delta`) and patch the coordinator's
+        per-worker bookkeeping to match what each worker will hold."""
+        self._require_open()
+        appended = {name: list(values) for name, values in appended.items()}
+        message = ("delta", plane_id, old_version, new_version, appended,
+                   list(dropped))
+        with self._lock:
+            self.stats["deltas"] += 1
+            for worker in self._workers:
+                for key in [k for k in worker.columns if k[0] == plane_id]:
+                    if worker.columns[key] == old_version and key[1] in appended:
+                        worker.columns[key] = new_version
+                    else:
+                        del worker.columns[key]
+                worker.queue.put(message)
+
+    def invalidate_plane(self, plane_id: int) -> None:
+        """Drop a plane's resident columns on every worker (idempotent)."""
+        if self._workers is None:
+            return
+        with self._lock:
+            for worker in self._workers:
+                for key in [k for k in worker.columns if k[0] == plane_id]:
+                    del worker.columns[key]
+                worker.queue.put(("release", plane_id))
+
+    # -- group dispatch ----------------------------------------------------------
+
+    #: Context groups cheaper than this (in ``m log m`` cost units) are
+    #: validated in-process at submission: the process round-trip would
+    #: cost more than the kernel itself.
+    INLINE_GROUP_COST = 32_768
+    #: Minimum shard cost: a group splits into at most ``num_workers``
+    #: shards of no less than this, so modest groups stay one message and
+    #: parallelism comes from having many groups in flight.
+    MIN_SHARD_COST = 65_536
+
+    def submit_oc_group(
+        self, plane: ColumnPlane, classes, pair_names, limit: Optional[int] = None
+    ) -> PendingGroup:
+        """Dispatch one context group's shards without waiting.
+
+        ``pair_names`` lists ``(a_attribute, b_attribute)`` per candidate;
+        the columns themselves are resolved through ``plane`` and ship only
+        to workers that do not already hold them at the plane's version.
+        Returns immediately with a :class:`PendingGroup`;
+        :meth:`harvest` joins it.  Groups below :data:`INLINE_GROUP_COST`
+        are validated in-process instead and return already settled.
+        """
+        self._require_open()
+        pending = PendingGroup(num_pairs=len(pair_names), limit=limit)
+        if pending.num_pairs == 0:
+            return pending
+        shards, total_cost, needed_row = self._plan_shards(classes)
+        needed_names = sorted(set(chain.from_iterable(pair_names)))
+        for name in needed_names:
+            self._assert_column_covers(plane.column(name), needed_row, name)
+        if not shards:
+            return pending
+        if total_cost < self.INLINE_GROUP_COST:
+            pairs = [
+                (plane.column(a), plane.column(b)) for a, b in pair_names
+            ]
+            pending.inline = self.backend.oc_optimal_removal_count_batch(
+                classes, pairs, limit
+            )
+            self.stats["inline_groups"] += 1
+            return pending
+
+        def columns_for(worker: _WorkerHandle) -> Dict[str, object]:
+            shipped: Dict[str, object] = {}
+            for name in needed_names:
+                key = (plane.plane_id, name)
+                if worker.columns.get(key) != plane.version:
+                    shipped[name] = plane.column(name)
+                    worker.columns[key] = plane.version
+                    self.stats["columns_shipped"] += 1
+                else:
+                    self.stats["column_refs"] += 1
+            return shipped
+
+        self._dispatch_shards(
+            pending, shards, plane.plane_id, plane.version,
+            list(pair_names), limit, columns_for,
+        )
+        return pending
 
     def oc_counts_batch(
         self,
@@ -162,50 +628,274 @@ class ShardedValidationPool:
         rank_pairs: Sequence[Tuple[object, object]],
         limit: Optional[int] = None,
     ) -> List[Tuple[int, bool]]:
-        """Batched minimal-removal counts, sharded across the pool."""
-        if self._executor is None:
-            raise RuntimeError("ShardedValidationPool is closed")
+        """Batched minimal-removal counts for ad-hoc rank columns.
+
+        The plane-less path: columns are deduplicated within the call but
+        ship with every dispatch (and every group is dispatched, however
+        small).  Kept for callers outside a discovery session, and as the
+        reference for the plane path's results."""
+        self._require_open()
         num_pairs = len(rank_pairs)
         if num_pairs == 0:
             return []
         self._check_column_freshness(classes, rank_pairs)
-        shards = [
-            shard
-            for shard in assign_classes_to_workers(list(classes), self.num_workers)
-            if shard
-        ]
-        if not shards:
-            return [(0, False)] * num_pairs
-        # Ship each distinct rank column once per shard, not once per pair.
-        columns: List[object] = []
-        column_index: Dict[int, int] = {}
-        pair_refs: List[Tuple[int, int]] = []
+        columns: Dict[str, object] = {}
+        name_of: Dict[int, str] = {}
+        pair_names: List[Tuple[str, str]] = []
         for a_ranks, b_ranks in rank_pairs:
             refs = []
             for ranks in (a_ranks, b_ranks):
                 key = id(ranks)
-                if key not in column_index:
-                    column_index[key] = len(columns)
-                    columns.append(ranks)
-                refs.append(column_index[key])
-            pair_refs.append((refs[0], refs[1]))
-        futures = [
-            self._executor.submit(
-                _shard_oc_counts, self.backend, shard, columns, pair_refs, limit
+                if key not in name_of:
+                    name_of[key] = f"c{len(name_of)}"
+                    columns[name_of[key]] = ranks
+                refs.append(name_of[key])
+            pair_names.append((refs[0], refs[1]))
+        pending = PendingGroup(num_pairs=num_pairs, limit=limit)
+        shards, _, _ = self._plan_shards(list(classes))
+        self._dispatch_shards(
+            pending, shards, None, 0, pair_names, limit,
+            lambda worker: columns,
+        )
+        return self.harvest(pending)
+
+    def _plan_shards(self, classes):
+        """Pack ``classes`` into cost-balanced contiguous shards.
+
+        Returns ``(shards, total_cost, needed_row)`` where ``shards`` is a
+        list of ``(ClassShard, cost)`` pairs and ``needed_row`` the largest
+        row id any class touches (``-1`` for empty groups).  Contiguous
+        class ranges — rather than the LPT assignment the per-candidate
+        validator uses — keep the packing a pair of array slices on the
+        columnar fast path; summation merging makes the composition
+        invisible in results.
+        """
+        if self._pack_arrays:
+            return self._plan_shards_arrays(classes)
+        class_lists = classes.classes if hasattr(classes, "classes") \
+            else list(classes)
+        if not class_lists:
+            return [], 0.0, -1
+        needed_row = -1
+        costs = []
+        for rows in class_lists:
+            costs.append(_class_cost(rows))
+            if len(rows) and rows[-1] > needed_row:
+                needed_row = rows[-1]
+        total = float(sum(costs))
+        target = max(total / self.num_workers, float(self.MIN_SHARD_COST))
+        shards: List[Tuple[ClassShard, float]] = []
+        chunk: List[Sequence[int]] = []
+        acc = 0.0
+        for rows, cost in zip(class_lists, costs):
+            chunk.append(rows)
+            acc += cost
+            if acc >= target and len(shards) < self.num_workers - 1:
+                shards.append((ClassShard.pack(chunk, False), acc))
+                chunk, acc = [], 0.0
+        if chunk:
+            shards.append((ClassShard.pack(chunk, False), acc))
+        return shards, total, needed_row
+
+    def _plan_shards_arrays(self, classes):
+        """Columnar shard planning: two array slices per shard.
+
+        Reuses (and caches) the partition's flattened columnar view, so
+        planning a group is a handful of vector operations instead of a
+        Python pass over every class.
+        """
+        import numpy as np
+
+        cached = getattr(classes, "_columnar", None)
+        if cached is not None:
+            rows, _, lengths = cached
+        else:
+            class_lists = classes.classes if hasattr(classes, "classes") \
+                else list(classes)
+            if not class_lists:
+                return [], 0.0, -1
+            lengths = np.fromiter(
+                (len(rows) for rows in class_lists), dtype=np.int64,
+                count=len(class_lists),
             )
-            for shard in shards
-        ]
-        totals = [0] * num_pairs
-        exceeded = [False] * num_pairs
-        for future in futures:
-            for index, (count, over) in enumerate(future.result()):
+            rows = np.fromiter(
+                chain.from_iterable(class_lists), dtype=np.int64,
+                count=int(lengths.sum()),
+            )
+            if hasattr(classes, "_columnar"):
+                # Exactly the layout the NumPy kernels build lazily: cache
+                # it so they never rebuild it for this context.
+                class_ids = np.repeat(
+                    np.arange(lengths.size, dtype=np.int64), lengths
+                )
+                classes._columnar = (rows, class_ids, lengths)
+        if lengths.size == 0:
+            return [], 0.0, -1
+        needed_row = int(rows.max()) if rows.size else -1
+        # Vectorised _class_cost: m * (1 + bit_length(max(m, 2))).
+        costs = lengths * (np.floor(np.log2(np.maximum(lengths, 2))) + 2.0)
+        cum = np.cumsum(costs)
+        total = float(cum[-1])
+        num_shards = min(
+            self.num_workers,
+            max(1, -(-int(total) // self.MIN_SHARD_COST)),
+        )
+        if num_shards > 1:
+            targets = total * np.arange(1, num_shards) / num_shards
+            cuts = np.unique(np.searchsorted(cum, targets, side="left") + 1)
+            edges = [0] + [c for c in cuts.tolist() if c < lengths.size] \
+                + [int(lengths.size)]
+        else:
+            edges = [0, int(lengths.size)]
+        offsets = np.concatenate(([0], np.cumsum(lengths)))
+        shards: List[Tuple[ClassShard, float]] = []
+        for a, b in zip(edges[:-1], edges[1:]):
+            if a == b:
+                continue
+            shard = ClassShard(
+                rows=rows[offsets[a]:offsets[b]].astype(np.int32),
+                lengths=lengths[a:b].copy(),
+            )
+            cost = float(cum[b - 1] - (cum[a - 1] if a else 0.0))
+            shards.append((shard, cost))
+        return shards, total, needed_row
+
+    def _dispatch_shards(
+        self, pending: PendingGroup, shards, plane_id, version,
+        pair_names, limit, columns_for,
+    ) -> None:
+        if not shards:
+            return
+        # One critical section per group: the column bookkeeping below must
+        # not interleave with another thread's dispatch, or a job could be
+        # enqueued behind a "shipped" marker whose payload races it.
+        with self._lock:
+            self.stats["groups"] += 1
+            for shard, cost in shards:
+                worker = min(self._workers, key=lambda w: w.load)
+                shipped = columns_for(worker)
+                job_id = self._next_job_id
+                self._next_job_id += 1
+                worker.queue.put((
+                    "job", job_id, plane_id, version, shard,
+                    pair_names, limit, shipped,
+                ))
+                worker.load += cost
+                pending.jobs.append((job_id, worker, cost))
+                self.stats["jobs"] += 1
+
+    # -- harvesting --------------------------------------------------------------
+
+    def harvest(self, pending: PendingGroup) -> List[Tuple[int, bool]]:
+        """Merge one pending group's shard results (blocking).
+
+        Per-pair counts are summed across shards; the exceeded flag is set
+        when any shard proved the budget blown or the merged total does."""
+        self._require_open()
+        if pending.inline is not None:
+            return pending.inline
+        totals = [0] * pending.num_pairs
+        exceeded = [False] * pending.num_pairs
+        jobs, pending.jobs = pending.jobs, []
+        for position, (job_id, worker, cost) in enumerate(jobs):
+            try:
+                payload = self._wait_result(job_id)
+            except BaseException:
+                # Settle the whole group before propagating: the failed
+                # job's load, and every remaining job's load and eventual
+                # result, must not leak into later runs on this pool.
+                self._settle_jobs(jobs[position:])
+                raise
+            with self._lock:
+                worker.load -= cost
+            for index, (count, over) in enumerate(payload):
                 totals[index] += count
                 exceeded[index] = exceeded[index] or over
-        if limit is not None:
+        if pending.limit is not None:
             exceeded = [
-                over or total > limit for total, over in zip(totals, exceeded)
+                over or total > pending.limit
+                for total, over in zip(totals, exceeded)
             ]
         return list(zip(totals, exceeded))
+
+    def abandon(self, pending: PendingGroup) -> None:
+        """Give up on a pending group (idempotent; interrupted runs).
+
+        In-flight shard results are dropped when they arrive, so an
+        abandoned level never poisons a later harvest."""
+        jobs, pending.jobs = pending.jobs, []
+        self._settle_jobs(jobs)
+
+    def _settle_jobs(self, jobs) -> None:
+        """Release load accounting and discard the eventual results of jobs
+        that will never be (fully) harvested."""
+        with self._lock:
+            for job_id, worker, cost in jobs:
+                worker.load -= cost
+                if job_id in self._results:
+                    del self._results[job_id]
+                else:
+                    self._discarded.add(job_id)
+
+    def _wait_result(self, job_id: int):
+        # Another harvesting thread may pull this job's message off the
+        # shared result queue and buffer it, so the buffer is rechecked on
+        # a short poll.  All buffer mutations happen under the lock, and
+        # the discarded-check runs at *store* time inside it, so a result
+        # arriving concurrently with abandon() is either dropped here or
+        # deleted by _settle_jobs — never leaked.
+        kind = payload = None
+        found = False
+        while not found:
+            with self._lock:
+                if job_id in self._results:
+                    kind, payload = self._results.pop(job_id)
+                    break
+            try:
+                arrived = self._result_queue.get(timeout=0.1)
+            except queue_module.Empty:
+                for worker in self._workers:
+                    if not worker.process.is_alive():
+                        raise RuntimeError(
+                            "a validation worker process died unexpectedly; "
+                            "close the pool and retry"
+                        )
+                continue
+            with self._lock:
+                arrived_kind, arrived_id, arrived_payload = arrived
+                if arrived_id in self._discarded:
+                    self._discarded.discard(arrived_id)
+                elif arrived_id == job_id:
+                    kind, payload = arrived_kind, arrived_payload
+                    found = True
+                else:
+                    self._results[arrived_id] = (arrived_kind, arrived_payload)
+        if kind == "error":
+            raise RuntimeError(f"validation worker failed:\n{payload}")
+        return payload
+
+    # -- freshness guards --------------------------------------------------------
+
+    @staticmethod
+    def _needed_row(classes) -> int:
+        needed = -1
+        for rows in classes:
+            if len(rows) and rows[-1] > needed:
+                needed = rows[-1]
+        return needed
+
+    @staticmethod
+    def _assert_column_covers(column, needed_row: int, name: str = "") -> None:
+        """The single stale-column rule both dispatch paths enforce."""
+        if needed_row < 0 or len(column) > needed_row:
+            return
+        label = f" {name!r}" if name else ""
+        raise RuntimeError(
+            f"stale rank column{label}: {len(column)} entries cannot "
+            f"cover row {needed_row}; the encoded relation grew "
+            "after this column was captured — refresh columns "
+            "from the current encoding before revalidating"
+        )
 
     @staticmethod
     def _check_column_freshness(classes, rank_pairs) -> None:
@@ -218,27 +908,43 @@ class ShardedValidationPool:
         workers.  Class row lists are sorted, so the last row of each class
         is its maximum; every column must cover the overall maximum.
         """
-        needed = -1
-        for rows in classes:
-            if len(rows) and rows[-1] > needed:
-                needed = rows[-1]
-        if needed < 0:
-            return
+        needed = ShardedValidationPool._needed_row(classes)
         for a_ranks, b_ranks in rank_pairs:
             for ranks in (a_ranks, b_ranks):
-                if len(ranks) <= needed:
-                    raise RuntimeError(
-                        f"stale rank column: {len(ranks)} entries cannot "
-                        f"cover row {needed}; the encoded relation grew "
-                        "after this column was captured — refresh columns "
-                        "from the current encoding before revalidating"
-                    )
+                ShardedValidationPool._assert_column_covers(ranks, needed)
+
+    # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
         """Shut the worker processes down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        if self._workers is None:
+            return
+        workers, self._workers = self._workers, None
+        for worker in workers:
+            try:
+                worker.queue.put(("stop",))
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+        # Drain straggling results so worker feeder threads never block on a
+        # full pipe while trying to exit (abandoned jobs still produce
+        # results nobody reads).
+        deadline = time_module.monotonic() + 10.0
+        while any(w.process.is_alive() for w in workers):
+            if time_module.monotonic() > deadline:
+                break
+            try:
+                self._result_queue.get(timeout=0.05)
+            except queue_module.Empty:
+                pass
+        for worker in workers:
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            worker.queue.close()
+        self._result_queue.close()
+        self._results.clear()
+        self._discarded.clear()
 
     def __enter__(self) -> "ShardedValidationPool":
         return self
