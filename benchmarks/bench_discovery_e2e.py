@@ -208,7 +208,14 @@ def _report(figure_report):
     incremental = INCREMENTAL_RESULT.get("incremental")
     if incremental is not None:
         payload["incremental"] = incremental.as_row()
-    (results_dir / "BENCH_discovery.json").write_text(
+    # Merge into the existing report: other suites (the partition
+    # micro-benchmarks) contribute their own records to the same file.
+    report_path = results_dir / "BENCH_discovery.json"
+    if report_path.exists():
+        merged = json.loads(report_path.read_text(encoding="utf-8"))
+        merged.update(payload)
+        payload = merged
+    report_path.write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
 

@@ -66,9 +66,25 @@ class ComputeBackend(abc.ABC):
 
     # -- partitions ------------------------------------------------------------
 
+    def partition_unit(self, num_rows: int) -> Partition:
+        """Partition of the empty attribute set (one class with every row).
+
+        Backends may override to build the CSR arrays in their native
+        representation so cached partitions stay representation-uniform.
+        """
+        return Partition.unit(num_rows)
+
     @abc.abstractmethod
     def partition_single(self, native_ranks, num_rows: int) -> Partition:
         """Build the stripped partition of a single encoded column."""
+
+    def partition_from_row_keys(
+        self, keys: Sequence[Tuple[int, ...]], num_rows: int
+    ) -> Partition:
+        """Group rows with equal key tuples into a stripped partition."""
+        from repro.dataset.partition import build_partition_from_row_keys
+
+        return build_partition_from_row_keys(keys, num_rows)
 
     @abc.abstractmethod
     def partition_refine(self, partition: Partition, native_ranks) -> Partition:

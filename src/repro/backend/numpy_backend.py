@@ -42,6 +42,13 @@ _FLOAT_SAFE_INT = 1 << 53
 _NUMERIC_TYPES = (AttributeType.INTEGER, AttributeType.FLOAT)
 
 
+def _empty_partition(num_rows: int) -> Partition:
+    """A classless partition with array-typed CSR storage."""
+    return Partition.from_csr(
+        np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64), num_rows
+    )
+
+
 class NumpyBackend(ComputeBackend):
     """Vectorised backend over ``int32`` rank arrays."""
 
@@ -133,33 +140,61 @@ class NumpyBackend(ComputeBackend):
 
     # -- partitions ------------------------------------------------------------
 
+    def partition_unit(self, num_rows: int) -> Partition:
+        if num_rows <= 1:
+            return _empty_partition(num_rows)
+        return Partition.from_csr(
+            np.arange(num_rows, dtype=np.int64),
+            np.array([0, num_rows], dtype=np.int64),
+            num_rows,
+        )
+
     def partition_single(self, native_ranks, num_rows: int) -> Partition:
         ranks = self.to_native(native_ranks)
         if ranks.size == 0:
-            return Partition([], num_rows)
+            return _empty_partition(num_rows)
         order = np.argsort(ranks, kind="stable")
-        return Partition(
-            self._split_segments(order, (ranks[order].astype(np.int64),)), num_rows
+        return self._csr_partition(
+            order, (ranks[order].astype(np.int64),), num_rows
+        )
+
+    def partition_from_row_keys(self, keys, num_rows: int) -> Partition:
+        try:
+            key_matrix = np.asarray(keys, dtype=np.int64)
+        except (TypeError, ValueError, OverflowError):
+            key_matrix = None
+        if key_matrix is None or key_matrix.ndim != 2:
+            # Ragged / non-integer keys: reference dict grouping.
+            return super().partition_from_row_keys(keys, num_rows)
+        if key_matrix.shape[0] == 0:
+            return _empty_partition(num_rows)
+        if key_matrix.shape[1] == 0:
+            return self.partition_unit(num_rows)
+        # lexsort keys last-first: reverse so the first tuple element is the
+        # most significant (any consistent total order groups equal tuples,
+        # but this keeps the sort deterministic and cache-friendly).
+        columns = tuple(key_matrix[:, i] for i in range(key_matrix.shape[1]))
+        order = np.lexsort(columns[::-1])
+        return self._csr_partition(
+            order, tuple(column[order] for column in columns), num_rows
         )
 
     def partition_refine(self, partition: Partition, native_ranks) -> Partition:
         ranks = self.to_native(native_ranks)
-        if not partition.classes:
-            return Partition([], partition.num_rows)
+        if partition.num_classes == 0:
+            return _empty_partition(partition.num_rows)
         rows, class_ids, _ = self._columnar_classes(partition)
         values = ranks[rows].astype(np.int64)
         order = np.lexsort((values, class_ids))
-        rows_sorted = rows[order]
-        return Partition(
-            self._split_segments(rows_sorted, (class_ids[order], values[order])),
-            partition.num_rows,
+        return self._csr_partition(
+            rows[order], (class_ids[order], values[order]), partition.num_rows
         )
 
     def partition_product(self, left: Partition, right: Partition) -> Partition:
         if left.num_rows != right.num_rows:
             raise ValueError("partitions are over relations of different sizes")
-        if not left.classes or not right.classes:
-            return Partition([], left.num_rows)
+        if left.num_classes == 0 or right.num_classes == 0:
+            return _empty_partition(left.num_rows)
         class_of = np.full(left.num_rows, -1, dtype=np.int64)
         right_rows, right_ids, _ = self._columnar_classes(right)
         class_of[right_rows] = right_ids
@@ -168,59 +203,91 @@ class NumpyBackend(ComputeBackend):
         grouped = other >= 0  # singletons of `right` stay singletons in the product
         rows, class_ids, other = rows[grouped], class_ids[grouped], other[grouped]
         if rows.size == 0:
-            return Partition([], left.num_rows)
+            return _empty_partition(left.num_rows)
         order = np.lexsort((other, class_ids))
-        return Partition(
-            self._split_segments(rows[order], (class_ids[order], other[order])),
-            left.num_rows,
+        return self._csr_partition(
+            rows[order], (class_ids[order], other[order]), left.num_rows
         )
 
     @staticmethod
     def _columnar_classes(classes) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Flatten class row-lists into ``(rows, class_ids, lengths)`` arrays.
+        """Flatten a class container into ``(rows, class_ids, lengths)`` arrays.
 
-        When ``classes`` is a :class:`Partition` the result is cached on the
-        partition object: candidates share contexts heavily during the
-        level-wise search, so the concatenation cost is paid once per
-        context instead of once per candidate.  Objects exposing a
-        ``columnar_view()`` (e.g. the worker-side
+        :class:`Partition` objects already hold the flat CSR layout, so the
+        columnar view is derived from the offset arrays with no per-class
+        Python objects; the result is cached on the partition because
+        candidates share contexts heavily during the level-wise search.
+        Objects exposing a ``columnar_view()`` (e.g. the worker-side
         :class:`~repro.validation.distributed.ClassShard`) hand over their
-        pre-flattened arrays directly.
+        pre-flattened arrays directly; raw lists of row lists (kernel inputs
+        from the repair path) are concatenated.
         """
         if isinstance(classes, Partition):
             cached = classes._columnar
             if cached is not None:
                 return cached
-            class_lists = classes.classes
-        elif hasattr(classes, "columnar_view"):
+            rows = classes.row_indices
+            offsets = classes.class_offsets
+            rows = (
+                rows.astype(np.int64, copy=False)
+                if isinstance(rows, np.ndarray)
+                else np.asarray(rows, dtype=np.int64)
+            )
+            offsets = (
+                offsets
+                if isinstance(offsets, np.ndarray)
+                else np.asarray(offsets, dtype=np.int64)
+            )
+            lengths = np.diff(offsets)
+            class_ids = np.repeat(
+                np.arange(lengths.size, dtype=np.int64), lengths
+            )
+            columnar = (rows, class_ids, lengths)
+            classes._columnar = columnar
+            return columnar
+        if hasattr(classes, "columnar_view"):
             return classes.columnar_view()
-        else:
-            class_lists = list(classes)
+        class_lists = list(classes)
         lengths = np.fromiter(
             (len(c) for c in class_lists), dtype=np.int64, count=len(class_lists)
         )
         total = int(lengths.sum())
         rows = np.fromiter(chain.from_iterable(class_lists), dtype=np.int64, count=total)
         class_ids = np.repeat(np.arange(len(class_lists), dtype=np.int64), lengths)
-        columnar = (rows, class_ids, lengths)
-        if isinstance(classes, Partition):
-            classes._columnar = columnar
-        return columnar
+        return rows, class_ids, lengths
 
     @staticmethod
-    def _split_segments(sorted_rows: np.ndarray, key_arrays) -> List[List[int]]:
-        """Split ``sorted_rows`` at key changes; keep segments of size ≥ 2."""
+    def _csr_partition(
+        sorted_rows: np.ndarray, key_arrays, num_rows: int
+    ) -> Partition:
+        """Partition from key-sorted rows: split at key changes, keep
+        segments of size ≥ 2, reorder by first row, lay out flat CSR.
+
+        Never materialises per-class Python lists: segments are selected
+        and reordered with one gather over the flat row array.
+        """
         n = sorted_rows.size
         change = np.zeros(n - 1, dtype=bool)
         for key in key_arrays:
             change |= np.diff(key) != 0
         boundaries = np.concatenate(([0], np.nonzero(change)[0] + 1, [n]))
-        classes: List[List[int]] = []
-        for i in range(boundaries.size - 1):
-            start, end = int(boundaries[i]), int(boundaries[i + 1])
-            if end - start >= 2:
-                classes.append(sorted_rows[start:end].tolist())
-        return classes
+        lengths = np.diff(boundaries)
+        keep = lengths >= 2
+        lengths = lengths[keep]
+        if lengths.size == 0:
+            return _empty_partition(num_rows)
+        starts = boundaries[:-1][keep]
+        # Segments come out in key order; the canonical layout orders
+        # classes by their (unique) first row.
+        order = np.argsort(sorted_rows[starts], kind="stable")
+        starts, lengths = starts[order], lengths[order]
+        offsets = np.concatenate(([0], np.cumsum(lengths)))
+        flat = np.repeat(starts - offsets[:-1], lengths) + np.arange(
+            int(offsets[-1])
+        )
+        return Partition.from_csr(
+            sorted_rows[flat].astype(np.int64, copy=False), offsets, num_rows
+        )
 
     # -- shared kernel plumbing ------------------------------------------------
 

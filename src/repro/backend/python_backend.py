@@ -41,7 +41,11 @@ class PythonBackend(ComputeBackend):
     # -- partitions ------------------------------------------------------------
 
     def partition_single(self, native_ranks, num_rows: int) -> Partition:
-        return Partition.single(native_ranks)
+        # The module-level builder, not Partition.single: the classmethod
+        # routes through the *default* backend, which may not be this one.
+        from repro.dataset.partition import build_partition_single
+
+        return build_partition_single(native_ranks, num_rows)
 
     def partition_refine(self, partition: Partition, native_ranks) -> Partition:
         return partition.product(native_ranks)

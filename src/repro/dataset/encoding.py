@@ -24,6 +24,99 @@ from repro.dataset.schema import AttributeType, Schema
 EXTEND_APPENDED = "appended"
 EXTEND_REMAPPED = "remapped"
 
+#: Columns shorter than this never benefit from run-length transport: the
+#: run bookkeeping outweighs the dense payload.
+RLE_MIN_ROWS = 256
+#: A column is run-encoded for transport only when it has at most
+#: ``num_rows / RLE_MIN_SHRINK`` runs, i.e. the encoding is at least this
+#: many times smaller than the dense form.
+RLE_MIN_SHRINK = 4
+
+
+class RunLengthColumn:
+    """A rank column stored as value runs (transport encoding).
+
+    ``starts[i]`` is the first row of run ``i`` (``starts[0] == 0``,
+    strictly increasing) and ``values[i]`` its rank; the decoded column has
+    ``length`` rows.  Used to shrink the bytes shipped to validation
+    workers for low-cardinality clustered columns; workers materialise the
+    dense form on receipt, so kernels never see this type.  ``__len__`` is
+    the *decoded* length, which keeps every row-coverage guard (e.g. the
+    pool's stale-column check) working unchanged on the encoded form.
+    """
+
+    __slots__ = ("starts", "values", "length")
+
+    def __init__(self, starts, values, length: int) -> None:
+        self.starts = starts
+        self.values = values
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.values)
+
+    def value_at(self, row: int) -> int:
+        """Rank at ``row`` via binary search over the run starts."""
+        from bisect import bisect_right
+
+        if not 0 <= row < self.length:
+            raise IndexError(row)
+        return self.values[bisect_right(self.starts, row) - 1]
+
+    def decode(self):
+        """Materialise the dense rank column (same type the encoder ships:
+        ndarray when the run values are an ndarray, list otherwise)."""
+        if hasattr(self.values, "tolist"):
+            import numpy as np
+
+            run_lengths = np.diff(
+                np.concatenate((self.starts, [self.length]))
+            )
+            return np.repeat(self.values, run_lengths)
+        dense = []
+        starts = list(self.starts) + [self.length]
+        for i, value in enumerate(self.values):
+            dense.extend([value] * (starts[i + 1] - starts[i]))
+        return dense
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"RunLengthColumn({self.num_runs} runs over {self.length} rows)"
+
+
+def run_length_encode(column) -> Optional[RunLengthColumn]:
+    """Run-encode a rank column if that genuinely shrinks it.
+
+    Returns ``None`` when the column is too short or has too many runs to
+    be worth shipping encoded (see :data:`RLE_MIN_ROWS` /
+    :data:`RLE_MIN_SHRINK`); callers then ship the dense form.
+    """
+    num_rows = len(column)
+    if num_rows < RLE_MIN_ROWS:
+        return None
+    max_runs = num_rows // RLE_MIN_SHRINK
+    if hasattr(column, "tolist") and not isinstance(column, (list, tuple)):
+        import numpy as np
+
+        boundaries = np.nonzero(np.diff(column) != 0)[0] + 1
+        if boundaries.size + 1 > max_runs:
+            return None
+        starts = np.concatenate(([0], boundaries)).astype(np.int64)
+        return RunLengthColumn(starts, column[starts], num_rows)
+    starts = [0]
+    values = [column[0]]
+    for row in range(1, num_rows):
+        value = column[row]
+        if value != values[-1]:
+            if len(values) >= max_runs:
+                return None
+            starts.append(row)
+            values.append(value)
+    return RunLengthColumn(starts, values, num_rows)
+
 
 def _sort_key(value: object, attr_type: AttributeType):
     """Return a sortable key for ``value`` under ``attr_type``.
@@ -115,6 +208,11 @@ class EncodedRelation:
         self._dictionaries: List[List[object]] = [list(d) for d in dictionaries]
         self.num_rows = num_rows
         self._native: Dict[int, object] = {}
+        # index -> transport form of the native column (RunLengthColumn when
+        # run encoding shrinks it enough, else the dense native column).
+        # Keyed per EncodedRelation, so `extend` — which returns a fresh
+        # instance — naturally invalidates every cached transport column.
+        self._transport: Dict[int, object] = {}
         if native_columns is not None:
             for index, native in enumerate(native_columns):
                 if native is not None:
@@ -284,6 +382,25 @@ class EncodedRelation:
             native = self.backend.to_native(self._ranks[index])
             self._native[index] = native
         return native
+
+    def transport_ranks(self, attribute: str):
+        """Return the rank column in its cheapest transport form.
+
+        Low-cardinality clustered columns come back as a
+        :class:`RunLengthColumn`; everything else as the dense native
+        column.  Only for *shipping* (e.g. to validation workers, which
+        materialise on receipt) — kernels take native columns.
+        """
+        return self.transport_ranks_by_index(self.schema.index_of(attribute))
+
+    def transport_ranks_by_index(self, index: int):
+        """Transport form of the rank column at schema position ``index``."""
+        cached = self._transport.get(index)
+        if cached is None:
+            native = self.native_ranks_by_index(index)
+            cached = run_length_encode(native) or native
+            self._transport[index] = cached
+        return cached
 
     def dictionary(self, attribute: str) -> List[object]:
         """Return the rank-to-value dictionary for ``attribute``."""

@@ -29,7 +29,11 @@ def context_coverage(classes: Sequence[Sequence[int]], num_rows: int) -> float:
     """
     if num_rows == 0:
         return 0.0
-    grouped = sum(len(class_rows) for class_rows in classes)
+    # CSR partitions expose the grouped-row total in O(1) (the flat row
+    # vector's length); anything else pays the per-class sum.
+    grouped = getattr(classes, "num_grouped_rows", None)
+    if grouped is None:
+        grouped = sum(len(class_rows) for class_rows in classes)
     return min(1.0, grouped / num_rows)
 
 

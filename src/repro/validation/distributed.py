@@ -247,6 +247,19 @@ def _extend_resident_column(column, appended_ranks):
     )
 
 
+def _materialize_column(column):
+    """Decode a shipped column to its dense kernel form on the worker.
+
+    Run-length transport (:class:`~repro.dataset.encoding.RunLengthColumn`)
+    exists only on the wire: workers expand it on receipt, so the resident
+    cache, the delta-append path and every kernel see dense columns only.
+    """
+    decode = getattr(column, "decode", None)
+    if decode is not None and hasattr(column, "starts"):
+        return decode()
+    return column
+
+
 def _plane_worker_main(task_queue, result_queue, backend) -> None:
     """Message loop of one persistent pool worker process.
 
@@ -266,10 +279,15 @@ def _plane_worker_main(task_queue, result_queue, backend) -> None:
             _, job_id, plane_id, version, shard, pair_names, limit, shipped = message
             try:
                 if plane_id is None:
-                    resolved = shipped
+                    resolved = {
+                        name: _materialize_column(column)
+                        for name, column in shipped.items()
+                    }
                 else:
                     for name, column in shipped.items():
-                        columns[(plane_id, name)] = (version, column)
+                        columns[(plane_id, name)] = (
+                            version, _materialize_column(column)
+                        )
                     resolved = {}
                     for name in set(chain.from_iterable(pair_names)):
                         entry = columns.get((plane_id, name))
@@ -388,6 +406,21 @@ class ColumnPlane:
             raise RuntimeError("ColumnPlane is not bound to an encoding")
         return self._encoded.native_ranks(name)
 
+    def transport_column(self, name: str):
+        """The column in its cheapest transport form for worker shipping.
+
+        Low-cardinality clustered columns come back run-length encoded
+        (fewer bytes on the wire); workers materialise the dense form on
+        receipt.  Encodings without transport support fall back to the
+        dense native column.
+        """
+        if self._encoded is None:
+            raise RuntimeError("ColumnPlane is not bound to an encoding")
+        getter = getattr(self._encoded, "transport_ranks", None)
+        if getter is None:
+            return self._encoded.native_ranks(name)
+        return getter(name)
+
     def apply_delta(self, extended, modes: Dict[str, str], old_num_rows: int) -> None:
         """Advance the plane to a delta-extended encoding.
 
@@ -505,6 +538,7 @@ class ShardedValidationPool:
             "jobs": 0,
             "inline_groups": 0,
             "columns_shipped": 0,
+            "columns_rle": 0,
             "column_refs": 0,
             "deltas": 0,
         }
@@ -591,7 +625,13 @@ class ShardedValidationPool:
         shards, total_cost, needed_row = self._plan_shards(classes)
         needed_names = sorted(set(chain.from_iterable(pair_names)))
         for name in needed_names:
-            self._assert_column_covers(plane.column(name), needed_row, name)
+            # The guard runs on the transport form: a RunLengthColumn's
+            # length is its *decoded* row count, so a run-encoded column
+            # captured before an append is refused exactly like a short
+            # dense one (and re-shipped from the refreshed encoding).
+            self._assert_column_covers(
+                plane.transport_column(name), needed_row, name
+            )
         if not shards:
             return pending
         if total_cost < self.INLINE_GROUP_COST:
@@ -609,9 +649,12 @@ class ShardedValidationPool:
             for name in needed_names:
                 key = (plane.plane_id, name)
                 if worker.columns.get(key) != plane.version:
-                    shipped[name] = plane.column(name)
+                    column = plane.transport_column(name)
+                    shipped[name] = column
                     worker.columns[key] = plane.version
                     self.stats["columns_shipped"] += 1
+                    if hasattr(column, "starts"):
+                        self.stats["columns_rle"] += 1
                 else:
                     self.stats["column_refs"] += 1
             return shipped
@@ -706,29 +749,11 @@ class ShardedValidationPool:
         """
         import numpy as np
 
-        cached = getattr(classes, "_columnar", None)
-        if cached is not None:
-            rows, _, lengths = cached
-        else:
-            class_lists = classes.classes if hasattr(classes, "classes") \
-                else list(classes)
-            if not class_lists:
-                return [], 0.0, -1
-            lengths = np.fromiter(
-                (len(rows) for rows in class_lists), dtype=np.int64,
-                count=len(class_lists),
-            )
-            rows = np.fromiter(
-                chain.from_iterable(class_lists), dtype=np.int64,
-                count=int(lengths.sum()),
-            )
-            if hasattr(classes, "_columnar"):
-                # Exactly the layout the NumPy kernels build lazily: cache
-                # it so they never rebuild it for this context.
-                class_ids = np.repeat(
-                    np.arange(lengths.size, dtype=np.int64), lengths
-                )
-                classes._columnar = (rows, class_ids, lengths)
+        # The backend's columnar view: for a CSR Partition this is derived
+        # straight from (and cached on) the flat offset arrays, for a
+        # ClassShard its pre-flattened arrays — no per-class Python lists
+        # on any of the engine-facing paths.
+        rows, _, lengths = self.backend._columnar_classes(classes)
         if lengths.size == 0:
             return [], 0.0, -1
         needed_row = int(rows.max()) if rows.size else -1
@@ -878,6 +903,13 @@ class ShardedValidationPool:
 
     @staticmethod
     def _needed_row(classes) -> int:
+        flat = getattr(classes, "row_indices", None)
+        if flat is not None:
+            # CSR partition: one pass over the flat row vector (classes are
+            # first-row ordered, so the last *element* is not the maximum).
+            if len(flat) == 0:
+                return -1
+            return int(flat.max()) if hasattr(flat, "max") else max(flat)
         needed = -1
         for rows in classes:
             if len(rows) and rows[-1] > needed:
