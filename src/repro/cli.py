@@ -78,6 +78,13 @@ def _engine_options(parser: argparse.ArgumentParser) -> None:
              "(default 1: in-process)",
     )
     parser.add_argument(
+        "--worker-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job deadline for worker validation shards; a job past it "
+             "is treated as a worker death and recovered without changing "
+             "results (default: wait indefinitely; only meaningful with "
+             "--workers)",
+    )
+    parser.add_argument(
         "--no-batch", action="store_true",
         help="disable the level-synchronous batched validation scheduler "
              "(per-candidate reference path; identical results)",
@@ -202,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes per session (default 1)",
     )
     serve.add_argument(
+        "--worker-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job deadline for worker validation shards; a job past it "
+             "is treated as a worker death and recovered (default: wait "
+             "indefinitely)",
+    )
+    serve.add_argument(
         "--max-memo-entries", type=int, default=None, metavar="N",
         help="LRU bound on each session's validation memo "
              "(default: unbounded; evicted outcomes are recomputed)",
@@ -274,6 +287,7 @@ def _session(relation, args, warm: bool = True) -> Profiler:
     # and a single-run memo would never be reused.
     return Profiler(
         relation, backend=args.backend, num_workers=args.workers,
+        worker_timeout=args.worker_timeout,
         cache_validations=warm, retain_partitions=warm,
     )
 
@@ -287,6 +301,7 @@ def _request_from_args(args) -> DiscoveryRequest:
         batch_validation=not args.no_batch,
         num_workers=DiscoveryRequest.pin_workers(args.workers),
         pipeline_validation=not args.no_pipeline,
+        worker_timeout=args.worker_timeout,
     )
     if args.exact:
         return DiscoveryRequest.exact(**common)
@@ -321,6 +336,7 @@ def _cmd_sweep(args) -> int:
         batch_validation=not args.no_batch,
         num_workers=DiscoveryRequest.pin_workers(args.workers),
         pipeline_validation=not args.no_pipeline,
+        worker_timeout=args.worker_timeout,
     )
     start = time.perf_counter()
     with _session(relation, args) as session:
@@ -427,6 +443,7 @@ def _cmd_serve(args) -> int:
 
     service = ProfilerService(
         backend=args.backend, num_workers=args.workers,
+        worker_timeout=args.worker_timeout,
         max_memo_entries=args.max_memo_entries,
         max_cached_partitions=args.max_cached_partitions,
     )

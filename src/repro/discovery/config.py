@@ -97,6 +97,12 @@ class DiscoveryConfig:
         group-at-a-time dispatch (kept for A/B benchmarking).  Both
         schedules produce identical discovery results; without workers the
         flag has no effect.
+    worker_timeout:
+        Optional per-job deadline in seconds for pool-dispatched validation
+        shards.  A job past it is treated as a worker death: the worker is
+        retired and the shard is recovered (requeued, or validated on the
+        coordinator) without changing results.  ``None`` (the default)
+        waits indefinitely; only meaningful when ``num_workers > 1``.
     """
 
     threshold: float = 0.0
@@ -112,6 +118,7 @@ class DiscoveryConfig:
     batch_validation: bool = True
     num_workers: int = 1
     pipeline_validation: bool = True
+    worker_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.threshold <= 1.0:
@@ -140,6 +147,10 @@ class DiscoveryConfig:
             raise ValueError(
                 "num_workers > 1 requires batch_validation: the worker shards "
                 "are dispatched by the level-synchronous scheduler"
+            )
+        if self.worker_timeout is not None and self.worker_timeout <= 0:
+            raise ValueError(
+                f"worker_timeout must be positive, got {self.worker_timeout}"
             )
 
     @property
@@ -187,6 +198,7 @@ class DiscoveryRequest:
     batch_validation: bool = True
     num_workers: Optional[int] = None
     pipeline_validation: bool = True
+    worker_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.attributes is not None:
@@ -235,6 +247,9 @@ class DiscoveryRequest:
         expect("time_limit_seconds", self.time_limit_seconds,
                self.time_limit_seconds is None or is_number(
                    self.time_limit_seconds),
+               "a number or null")
+        expect("worker_timeout", self.worker_timeout,
+               self.worker_timeout is None or is_number(self.worker_timeout),
                "a number or null")
         for name in ("find_ofds", "aggressive_ofd_pruning",
                      "prune_exhausted_nodes", "batch_validation",
@@ -302,6 +317,7 @@ class DiscoveryRequest:
             batch_validation=self.batch_validation,
             num_workers=effective_workers,
             pipeline_validation=self.pipeline_validation,
+            worker_timeout=self.worker_timeout,
             backend=backend,
             progress_callback=progress_callback,
         )
@@ -322,6 +338,7 @@ class DiscoveryRequest:
             batch_validation=config.batch_validation,
             num_workers=config.num_workers,
             pipeline_validation=config.pipeline_validation,
+            worker_timeout=config.worker_timeout,
         )
 
     # -- JSON boundary -----------------------------------------------------------

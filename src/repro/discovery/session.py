@@ -137,6 +137,12 @@ class Profiler:
         run on instead of spawning one.  The session never closes an
         external pool; hosts serving many datasets share a single pool
         across their sessions this way.  Must match ``num_workers``.
+    worker_timeout:
+        Default per-job deadline in seconds for the session-owned pool (a
+        job past it is treated as a worker death and recovered; see
+        ``DiscoveryConfig.worker_timeout``).  ``None`` waits indefinitely.
+        Request-level ``worker_timeout`` values still apply per run; this
+        default covers runs whose request leaves it unset.
     max_memo_entries:
         Optional LRU bound on the validation memo.  The memo's entries are
         tiny but grow with every distinct candidate ever validated; a
@@ -160,6 +166,7 @@ class Profiler:
         cache_validations: bool = True,
         retain_partitions: bool = True,
         shard_pool=None,
+        worker_timeout: Optional[float] = None,
         max_memo_entries: Optional[int] = None,
         max_cached_partitions: Optional[int] = None,
     ) -> None:
@@ -173,6 +180,7 @@ class Profiler:
         self.relation = relation
         self.backend = resolve_backend(backend)
         self.num_workers = num_workers
+        self.worker_timeout = worker_timeout
         self.encoded = relation.encoded(self.backend)
         self.partitions = (
             PartitionCache(
@@ -563,7 +571,8 @@ class Profiler:
 
         if self._pool is None:
             self._pool = ShardedValidationPool(
-                self.num_workers, backend=self.backend
+                self.num_workers, backend=self.backend,
+                worker_timeout=self.worker_timeout,
             )
             self._owns_pool = True
         return self._pool

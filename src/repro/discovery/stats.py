@@ -57,6 +57,16 @@ class DiscoveryStatistics:
     oc_batches: int = 0
     #: Context groups dispatched through the batched OFD kernel path.
     ofd_batches: int = 0
+    #: Validation worker processes that died (or were retired by the
+    #: per-job timeout) during this run; the pool recovered from each.
+    worker_deaths: int = 0
+    #: Replacement worker processes spawned during this run.
+    respawns: int = 0
+    #: In-flight shards re-dispatched to surviving workers after a death.
+    requeued_shards: int = 0
+    #: Shards validated on the coordinator as a recovery fallback
+    #: (quarantined shards and shards of a degraded pool).
+    inline_fallbacks: int = 0
 
     # -- derived ---------------------------------------------------------------
 
@@ -98,6 +108,10 @@ class DiscoveryStatistics:
             "pipelined": self.pipelined,
             "oc_batches": self.oc_batches,
             "ofd_batches": self.ofd_batches,
+            "worker_deaths": self.worker_deaths,
+            "respawns": self.respawns,
+            "requeued_shards": self.requeued_shards,
+            "inline_fallbacks": self.inline_fallbacks,
         }
 
     @classmethod

@@ -9,7 +9,11 @@ Endpoints (JSON in, JSON out; no dependencies beyond the stdlib):
 
 ``GET /healthz``
     ``{"status": "ok", "datasets": <count>, "result_cache": {hits, misses,
-    entries}}``.
+    entries}, "resilience": {worker_deaths, respawns, requeued_shards,
+    inline_fallbacks, quarantined_shards, worker_timeouts, degraded}}``.
+    The resilience block aggregates the shared worker pool's recovery
+    counters (all zero, ``degraded: false``, when the server runs without
+    worker processes).
 
 ``GET /datasets``
     The loaded datasets with row/attribute counts and warm-cache info.
@@ -75,11 +79,13 @@ class ProfilerService:
         *,
         backend=None,
         num_workers: int = 1,
+        worker_timeout: Optional[float] = None,
         max_memo_entries: Optional[int] = None,
         max_cached_partitions: Optional[int] = None,
     ) -> None:
         self._backend = backend
         self._num_workers = num_workers
+        self._worker_timeout = worker_timeout
         # Per-session memory bounds, forwarded to every dataset's Profiler
         # (LRU eviction; evicted state is recomputed, results never change).
         self._max_memo_entries = max_memo_entries
@@ -113,7 +119,8 @@ class ProfilerService:
             from repro.backend import resolve_backend
 
             self._pool = ShardedValidationPool(
-                self._num_workers, backend=resolve_backend(self._backend)
+                self._num_workers, backend=resolve_backend(self._backend),
+                worker_timeout=self._worker_timeout,
             )
         profiler = Profiler(
             relation, backend=self._backend, num_workers=self._num_workers,
@@ -260,6 +267,21 @@ class ProfilerService:
             "entries": sum(len(cache) for cache in self._results.values()),
         }
 
+    def resilience_stats(self) -> Dict[str, object]:
+        """The shared pool's recovery counters for ``/healthz``.
+
+        Servers running without worker processes (``--workers 1``) report
+        all-zero counters and ``degraded: false`` — the schema is stable so
+        monitoring never has to special-case the serial deployment.
+        """
+        if self._pool is not None and not self._pool.closed:
+            return self._pool.resilience_stats()
+        from repro.validation.distributed import RESILIENCE_COUNTERS
+
+        snapshot: Dict[str, object] = {key: 0 for key in RESILIENCE_COUNTERS}
+        snapshot["degraded"] = False
+        return snapshot
+
     def close(self) -> None:
         """Close every session and the shared worker pool."""
         for profiler in self._profilers.values():
@@ -342,6 +364,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "status": "ok",
                     "datasets": len(self.service.dataset_names),
                     "result_cache": self.service.result_cache_stats(),
+                    "resilience": self.service.resilience_stats(),
                 })
             elif self.path == "/datasets":
                 self._send_json(200, {"datasets": self.service.describe()})

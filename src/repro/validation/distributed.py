@@ -59,16 +59,53 @@ across runs and closes it in ``Profiler.close()``; a standalone engine
 spawns its own and shuts it down in the ``finally`` of its event stream, so
 worker processes never outlive the run that needed them — including runs
 that raise, get cancelled, or hit their time limit.
+
+Self-healing
+------------
+
+A worker process is expendable: the byte-identity invariant guarantees any
+shard can be recomputed anywhere, so the pool recovers from worker deaths
+without changing results.  The coordinator *supervises* its workers — a
+liveness check while waiting for results plus an exitcode sweep on every
+dispatch — and when one dies (OOM kill, segfault, or a per-job timeout
+treated as death) it
+
+1. invalidates the dead worker's resident-column bookkeeping (the cache
+   died with the process; a replacement refills lazily via the ordinary
+   ship-on-miss path),
+2. respawns a replacement into the same slot, and
+3. *requeues* the dead worker's in-flight shards onto surviving workers
+   under fresh job ids — ids are never reused, so a late result from a
+   presumed-dead worker is dropped through the ``_discarded`` set exactly
+   like an abandoned job's.
+
+A shard that kills workers twice is *quarantined*: the coordinator
+validates it in-process (the ``num_workers=1`` path), so a poison shard
+degrades to serial execution instead of crash-looping the pool.  If
+respawning fails repeatedly (the host refuses new processes), the pool
+flips to in-process execution for the rest of its life (``degraded``).
+Every recovery action is counted in ``stats`` (``worker_deaths``,
+``respawns``, ``requeued_shards``, ``inline_fallbacks``,
+``quarantined_shards``, ``worker_timeouts``) and surfaced per-run on
+:class:`~repro.discovery.stats.DiscoveryStatistics` and on ``repro
+serve``'s ``/healthz``.
+
+:class:`FaultPlan` is the test-only fault-injection hook powering the
+differential suite in ``tests/validation/test_fault_tolerance.py``: it can
+kill a worker before or after its *k*-th job, drop a result message (the
+worker stays alive and the job recovers through the timeout path), delay a
+respawn, or refuse respawns outright.
 """
 
 from __future__ import annotations
 
+import os
 import queue as queue_module
 import time as time_module
 import traceback
 from dataclasses import dataclass, field
 from itertools import chain
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.backend import BackendSpec, resolve_backend
 from repro.dataset.encoding import EXTEND_APPENDED
@@ -80,6 +117,131 @@ from repro.validation.result import ValidationResult
 
 #: Execution modes accepted by :func:`validate_aoc_distributed`.
 EXECUTION_MODES = ("simulated", "process")
+
+#: Exit code used by injected worker faults (recognisable in test output).
+_FAULT_EXIT_CODE = 86
+
+#: Worker tracebacks are truncated to this many characters before crossing
+#: the result queue: a pathological repr (huge arrays in locals) must not
+#: turn an error report into a multi-megabyte pickle.
+MAX_TRACEBACK_CHARS = 8192
+
+#: Pool recovery counters mirrored per-run onto
+#: :class:`~repro.discovery.stats.DiscoveryStatistics` and aggregated on
+#: ``/healthz``.
+RESILIENCE_COUNTERS = (
+    "worker_deaths",
+    "respawns",
+    "requeued_shards",
+    "inline_fallbacks",
+    "quarantined_shards",
+    "worker_timeouts",
+)
+
+
+@dataclass
+class WorkerFault:
+    """Faults injected into one spawned worker process (test-only).
+
+    Ordinals count the ``job`` messages the worker has processed, 0-based.
+    ``exit_before_job`` hard-exits the process when that job arrives (the
+    job is consumed and lost — the supervision path must requeue it);
+    ``exit_after_job`` exits after the job's result has been flushed to the
+    coordinator (death with no lost work — the dispatch sweep path);
+    ``drop_result_for_job`` computes the job but never sends its result
+    while the worker stays alive (a lost message — only the per-job
+    timeout can recover it).
+    """
+
+    exit_before_job: Optional[int] = None
+    exit_after_job: Optional[int] = None
+    drop_result_for_job: Optional[int] = None
+
+
+@dataclass
+class FaultPlan:
+    """Test-only fault injection for :class:`ShardedValidationPool`.
+
+    ``worker_faults`` is keyed by *spawn sequence*: the initial workers are
+    0..num_workers-1 and every respawn takes the next number, so a plan can
+    deterministically target "the replacement of the first casualty"
+    (needed to drive a shard into quarantine).  ``fail_respawns`` makes the
+    first N respawn attempts raise (the degradation ladder);
+    ``respawn_delay_seconds`` sleeps before each respawn.  ``on_event`` is
+    an optional observer callback ``(event, detail)`` for tests that need
+    to see supervision decisions as they happen.
+    """
+
+    worker_faults: Dict[int, WorkerFault] = field(default_factory=dict)
+    respawn_delay_seconds: float = 0.0
+    fail_respawns: int = 0
+    on_event: Optional[Callable[[str, object], None]] = None
+
+    def fault_for(self, seq: int) -> Optional[WorkerFault]:
+        return self.worker_faults.get(seq)
+
+    def notify(self, event: str, detail: object = None) -> None:
+        if self.on_event is not None:
+            self.on_event(event, detail)
+
+    def on_respawn(self, slot: int) -> None:
+        """Coordinator-side hook run before every respawn attempt."""
+        if self.respawn_delay_seconds:
+            time_module.sleep(self.respawn_delay_seconds)
+        if self.fail_respawns > 0:
+            self.fail_respawns -= 1
+            raise RuntimeError(
+                f"fault injection: respawn of worker slot {slot} refused"
+            )
+
+
+class WorkerJobError(RuntimeError):
+    """A validation job failed inside a worker (or its inline fallback).
+
+    Carries the structured error report the worker shipped across the
+    result queue — plane id, dataset version, shard size, candidate pair
+    names, and the (truncated) worker-side traceback — so callers can log
+    and route the failure without parsing a string.
+    """
+
+    def __init__(self, report: Dict[str, object]) -> None:
+        self.plane_id = report.get("plane_id")
+        self.dataset_version = report.get("dataset_version")
+        self.num_classes = report.get("num_classes")
+        self.num_rows = report.get("num_rows")
+        self.pair_names = report.get("pair_names")
+        self.worker_traceback = report.get("traceback", "")
+        super().__init__(
+            "validation worker failed "
+            f"(plane={self.plane_id}, dataset_version={self.dataset_version}, "
+            f"shard={self.num_classes} classes / {self.num_rows} rows, "
+            f"pairs={self.pair_names}):\n{self.worker_traceback}"
+        )
+
+
+def _error_report(plane_id, version, shard, pair_names) -> Dict[str, object]:
+    """The structured payload of an ``("error", job_id, report)`` message."""
+    formatted = traceback.format_exc()
+    if len(formatted) > MAX_TRACEBACK_CHARS:
+        formatted = (
+            f"... ({len(formatted) - MAX_TRACEBACK_CHARS} chars truncated)\n"
+            + formatted[-MAX_TRACEBACK_CHARS:]
+        )
+    try:
+        num_classes = len(shard)
+        num_rows = getattr(shard, "num_rows", None)
+        if num_rows is None:
+            num_rows = sum(len(rows) for rows in shard)
+    except Exception:  # pragma: no cover - shard itself unusable
+        num_classes = num_rows = -1
+    return {
+        "traceback": formatted,
+        "plane_id": plane_id,
+        "dataset_version": version,
+        "num_classes": num_classes,
+        "num_rows": num_rows,
+        "pair_names": [tuple(pair) for pair in pair_names],
+    }
 
 
 @dataclass
@@ -260,7 +422,7 @@ def _materialize_column(column):
     return column
 
 
-def _plane_worker_main(task_queue, result_queue, backend) -> None:
+def _plane_worker_main(task_queue, result_queue, backend, fault=None) -> None:
     """Message loop of one persistent pool worker process.
 
     The worker keeps its column cache across jobs: ``columns`` maps
@@ -268,8 +430,13 @@ def _plane_worker_main(task_queue, result_queue, backend) -> None:
     only the columns this worker does not already hold at the job's version;
     delta messages extend cached columns in place (the appended-rows fast
     path) or drop them (remapped / stale versions, re-shipped on next use).
+
+    ``fault`` is a test-only :class:`WorkerFault` driving the
+    fault-injection harness; production workers run with ``fault=None`` and
+    pay only a ``None``-check per job.
     """
     columns: Dict[Tuple[int, str], Tuple[int, object]] = {}
+    ordinal = 0
     while True:
         message = task_queue.get()
         kind = message[0]
@@ -277,6 +444,13 @@ def _plane_worker_main(task_queue, result_queue, backend) -> None:
             break
         if kind == "job":
             _, job_id, plane_id, version, shard, pair_names, limit, shipped = message
+            drop_result = exit_after = False
+            if fault is not None:
+                if fault.exit_before_job == ordinal:
+                    os._exit(_FAULT_EXIT_CODE)
+                drop_result = fault.drop_result_for_job == ordinal
+                exit_after = fault.exit_after_job == ordinal
+            ordinal += 1
             try:
                 if plane_id is None:
                     resolved = {
@@ -302,9 +476,21 @@ def _plane_worker_main(task_queue, result_queue, backend) -> None:
                 outcome = backend.oc_optimal_removal_count_batch(
                     shard, pairs, limit
                 )
-                result_queue.put(("result", job_id, outcome))
+                if not drop_result:
+                    result_queue.put(("result", job_id, outcome))
             except BaseException:
-                result_queue.put(("error", job_id, traceback.format_exc()))
+                result_queue.put((
+                    "error", job_id,
+                    _error_report(plane_id, version, shard, pair_names),
+                ))
+            if exit_after:
+                # Flush the feeder thread so the result actually crosses
+                # before the process vanishes (the "died after finishing"
+                # scenario: the coordinator must consume the result, or
+                # discard-and-recompute it, without hanging either way).
+                result_queue.close()
+                result_queue.join_thread()
+                os._exit(_FAULT_EXIT_CODE)
         elif kind == "delta":
             _, plane_id, old_version, new_version, appended, _dropped = message
             for key in [k for k in columns if k[0] == plane_id]:
@@ -326,13 +512,13 @@ def _plane_worker_main(task_queue, result_queue, backend) -> None:
 class _WorkerHandle:
     """Coordinator-side handle for one persistent worker process."""
 
-    __slots__ = ("process", "queue", "columns", "load")
+    __slots__ = ("process", "queue", "columns", "load", "slot", "seq", "dead")
 
-    def __init__(self, ctx, backend, result_queue) -> None:
+    def __init__(self, ctx, backend, result_queue, slot=0, seq=0, fault=None) -> None:
         self.queue = ctx.Queue()
         self.process = ctx.Process(
             target=_plane_worker_main,
-            args=(self.queue, result_queue, backend),
+            args=(self.queue, result_queue, backend, fault),
             daemon=True,
         )
         self.process.start()
@@ -340,21 +526,62 @@ class _WorkerHandle:
         self.columns: Dict[Tuple[int, str], int] = {}
         #: Estimated cost of the worker's in-flight shards (load balancing).
         self.load = 0.0
+        #: Position in the pool's worker list a replacement respawns into.
+        self.slot = slot
+        #: Spawn sequence number (never reused; fault plans key on it).
+        self.seq = seq
+        #: Set by the supervisor once the death has been processed, so a
+        #: handle is reaped exactly once.
+        self.dead = False
+
+
+class _JobRecord:
+    """Coordinator-side state of one dispatched shard job.
+
+    Everything needed to *re*-dispatch (or inline-run) the shard after a
+    worker death travels with the record: the packed shard, the candidate
+    pair names and limit, and either the plane (columns re-resolved through
+    the ordinary ship-on-miss path) or the ad-hoc column dict.  ``job_id``
+    changes on every (re)dispatch — ids are never reused, so a late result
+    from a presumed-dead worker can always be told apart and discarded.
+    """
+
+    __slots__ = (
+        "job_id", "worker", "cost", "shard", "pair_names", "limit",
+        "plane", "version", "needed_names", "columns", "deaths",
+        "dispatched_at", "timeout",
+    )
+
+    def __init__(self, shard, cost, pair_names, limit, plane, version,
+                 needed_names, columns, timeout) -> None:
+        self.job_id = -1
+        self.worker: Optional[_WorkerHandle] = None
+        self.cost = cost
+        self.shard = shard
+        self.pair_names = pair_names
+        self.limit = limit
+        self.plane = plane
+        self.version = version
+        self.needed_names = needed_names
+        self.columns = columns
+        self.deaths = 0
+        self.dispatched_at = 0.0
+        self.timeout = timeout
 
 
 @dataclass
 class PendingGroup:
     """One in-flight context group: harvest (or abandon) to settle it.
 
-    ``jobs`` holds ``(job_id, worker, cost)`` per dispatched shard; merging
-    is summation per pair, so harvest order never affects results.  A group
+    ``jobs`` holds one :class:`_JobRecord` per dispatched shard; merging is
+    summation per pair, so harvest order never affects results.  A group
     too small to be worth a process round-trip is validated in-process at
     submission and carries its finished ``inline`` result instead.
     """
 
     num_pairs: int
     limit: Optional[int]
-    jobs: List[Tuple[int, _WorkerHandle, float]] = field(default_factory=list)
+    jobs: List[_JobRecord] = field(default_factory=list)
     inline: Optional[List[Tuple[int, bool]]] = None
 
 
@@ -445,9 +672,13 @@ class ColumnPlane:
         )
         self._encoded = extended
 
-    def submit(self, classes, pair_names, limit: Optional[int] = None) -> PendingGroup:
+    def submit(
+        self, classes, pair_names, limit: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> PendingGroup:
         """Dispatch one context group asynchronously (see pool docs)."""
-        return self._pool.submit_oc_group(self, classes, pair_names, limit)
+        return self._pool.submit_oc_group(self, classes, pair_names, limit,
+                                          timeout=timeout)
 
     def harvest(self, pending: PendingGroup) -> List[Tuple[int, bool]]:
         """Block until ``pending``'s shards merged; returns per-pair counts."""
@@ -458,10 +689,11 @@ class ColumnPlane:
         self._pool.abandon(pending)
 
     def oc_counts_batch(
-        self, classes, pair_names, limit: Optional[int] = None
+        self, classes, pair_names, limit: Optional[int] = None,
+        timeout: Optional[float] = None,
     ) -> List[Tuple[int, bool]]:
         """Synchronous submit + harvest convenience."""
-        return self.harvest(self.submit(classes, pair_names, limit))
+        return self.harvest(self.submit(classes, pair_names, limit, timeout))
 
     def release(self) -> None:
         """Free this plane's worker-resident columns (idempotent)."""
@@ -509,25 +741,48 @@ class ShardedValidationPool:
     stalls another's dispatch.
     """
 
-    def __init__(self, num_workers: int, backend: BackendSpec = None) -> None:
+    #: A shard whose worker died this many times is quarantined: validated
+    #: on the coordinator instead of being re-dispatched a third time.
+    QUARANTINE_AFTER_DEATHS = 2
+    #: Respawn attempts per dead worker before the pool gives up on
+    #: processes entirely and degrades to in-process execution.
+    MAX_RESPAWN_ATTEMPTS = 3
+
+    def __init__(
+        self,
+        num_workers: int,
+        backend: BackendSpec = None,
+        worker_timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
         import multiprocessing
         import threading
 
         ctx = multiprocessing.get_context()
+        self._ctx = ctx
         self.num_workers = num_workers
         self.backend = resolve_backend(backend)
         self._pack_arrays = self.backend.name == "numpy"
+        #: Default per-job deadline in seconds (``None`` = wait forever); a
+        #: job past it is treated as a worker death.  Overridable per
+        #: dispatch, see :meth:`submit_oc_group`.
+        self.worker_timeout = worker_timeout
+        self._fault_plan = fault_plan
+        self._next_worker_seq = 0
         self._result_queue = ctx.Queue()
         self._workers: Optional[List[_WorkerHandle]] = [
-            _WorkerHandle(ctx, self.backend, self._result_queue)
-            for _ in range(num_workers)
+            self._spawn_handle(slot) for slot in range(num_workers)
         ]
         #: Buffered results for jobs harvested out of completion order.
         self._results: Dict[int, Tuple[str, object]] = {}
         #: Abandoned job ids whose results are dropped on arrival.
         self._discarded: set = set()
+        #: ``job_id -> _JobRecord`` for every dispatched, unfinished job —
+        #: the supervisor's view of what a dead worker owes.
+        self._inflight: Dict[int, _JobRecord] = {}
+        self._degraded = False
         #: Serialises dispatch bookkeeping (job ids, per-worker column
         #: sets, load accounting, queue puts) across coordinator threads.
         self._lock = threading.Lock()
@@ -541,12 +796,43 @@ class ShardedValidationPool:
             "columns_rle": 0,
             "column_refs": 0,
             "deltas": 0,
+            "worker_deaths": 0,
+            "respawns": 0,
+            "requeued_shards": 0,
+            "inline_fallbacks": 0,
+            "quarantined_shards": 0,
+            "worker_timeouts": 0,
         }
+
+    def _spawn_handle(self, slot: int) -> _WorkerHandle:
+        seq = self._next_worker_seq
+        self._next_worker_seq += 1
+        fault = self._fault_plan.fault_for(seq) if self._fault_plan else None
+        return _WorkerHandle(
+            self._ctx, self.backend, self._result_queue,
+            slot=slot, seq=seq, fault=fault,
+        )
 
     @property
     def closed(self) -> bool:
         """Whether the worker processes have been shut down."""
         return self._workers is None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool has fallen back to in-process execution for
+        the rest of its life (repeated respawn failure)."""
+        return self._degraded
+
+    def resilience_stats(self) -> Dict[str, object]:
+        """Snapshot of the recovery counters plus the degraded flag —
+        the block ``repro serve`` reports on ``/healthz``."""
+        with self._lock:
+            snapshot: Dict[str, object] = {
+                key: self.stats.get(key, 0) for key in RESILIENCE_COUNTERS
+            }
+            snapshot["degraded"] = self._degraded
+        return snapshot
 
     def _require_open(self) -> None:
         if self._workers is None:
@@ -607,7 +893,8 @@ class ShardedValidationPool:
     MIN_SHARD_COST = 65_536
 
     def submit_oc_group(
-        self, plane: ColumnPlane, classes, pair_names, limit: Optional[int] = None
+        self, plane: ColumnPlane, classes, pair_names,
+        limit: Optional[int] = None, timeout: Optional[float] = None,
     ) -> PendingGroup:
         """Dispatch one context group's shards without waiting.
 
@@ -617,6 +904,9 @@ class ShardedValidationPool:
         Returns immediately with a :class:`PendingGroup`;
         :meth:`harvest` joins it.  Groups below :data:`INLINE_GROUP_COST`
         are validated in-process instead and return already settled.
+
+        ``timeout`` overrides the pool's ``worker_timeout`` for this
+        group's jobs (seconds per job; ``None`` inherits the pool default).
         """
         self._require_open()
         pending = PendingGroup(num_pairs=len(pair_names), limit=limit)
@@ -634,35 +924,28 @@ class ShardedValidationPool:
             )
         if not shards:
             return pending
-        if total_cost < self.INLINE_GROUP_COST:
+        if self._degraded or total_cost < self.INLINE_GROUP_COST:
             pairs = [
                 (plane.column(a), plane.column(b)) for a, b in pair_names
             ]
             pending.inline = self.backend.oc_optimal_removal_count_batch(
                 classes, pairs, limit
             )
-            self.stats["inline_groups"] += 1
+            if self._degraded and total_cost >= self.INLINE_GROUP_COST:
+                with self._lock:
+                    self.stats["inline_fallbacks"] += 1
+            else:
+                self.stats["inline_groups"] += 1
             return pending
-
-        def columns_for(worker: _WorkerHandle) -> Dict[str, object]:
-            shipped: Dict[str, object] = {}
-            for name in needed_names:
-                key = (plane.plane_id, name)
-                if worker.columns.get(key) != plane.version:
-                    column = plane.transport_column(name)
-                    shipped[name] = column
-                    worker.columns[key] = plane.version
-                    self.stats["columns_shipped"] += 1
-                    if hasattr(column, "starts"):
-                        self.stats["columns_rle"] += 1
-                else:
-                    self.stats["column_refs"] += 1
-            return shipped
-
-        self._dispatch_shards(
-            pending, shards, plane.plane_id, plane.version,
-            list(pair_names), limit, columns_for,
-        )
+        resolved_timeout = timeout if timeout is not None else self.worker_timeout
+        records = [
+            _JobRecord(
+                shard, cost, list(pair_names), limit, plane, plane.version,
+                needed_names, None, resolved_timeout,
+            )
+            for shard, cost in shards
+        ]
+        self._dispatch_records(pending, records)
         return pending
 
     def oc_counts_batch(
@@ -670,6 +953,7 @@ class ShardedValidationPool:
         classes: Sequence[Sequence[int]],
         rank_pairs: Sequence[Tuple[object, object]],
         limit: Optional[int] = None,
+        timeout: Optional[float] = None,
     ) -> List[Tuple[int, bool]]:
         """Batched minimal-removal counts for ad-hoc rank columns.
 
@@ -696,10 +980,15 @@ class ShardedValidationPool:
             pair_names.append((refs[0], refs[1]))
         pending = PendingGroup(num_pairs=num_pairs, limit=limit)
         shards, _, _ = self._plan_shards(list(classes))
-        self._dispatch_shards(
-            pending, shards, None, 0, pair_names, limit,
-            lambda worker: columns,
-        )
+        resolved_timeout = timeout if timeout is not None else self.worker_timeout
+        records = [
+            _JobRecord(
+                shard, cost, pair_names, limit, None, 0,
+                sorted(columns), columns, resolved_timeout,
+            )
+            for shard, cost in shards
+        ]
+        self._dispatch_records(pending, records)
         return self.harvest(pending)
 
     def _plan_shards(self, classes):
@@ -785,29 +1074,194 @@ class ShardedValidationPool:
             shards.append((shard, cost))
         return shards, total, needed_row
 
-    def _dispatch_shards(
-        self, pending: PendingGroup, shards, plane_id, version,
-        pair_names, limit, columns_for,
-    ) -> None:
-        if not shards:
+    def _dispatch_records(self, pending: PendingGroup, records) -> None:
+        if not records:
             return
         # One critical section per group: the column bookkeeping below must
         # not interleave with another thread's dispatch, or a job could be
-        # enqueued behind a "shipped" marker whose payload races it.
+        # enqueued behind a "shipped" marker whose payload races it.  The
+        # sweep runs first so no job is handed to an already-dead worker.
         with self._lock:
+            self._sweep_locked()
             self.stats["groups"] += 1
-            for shard, cost in shards:
-                worker = min(self._workers, key=lambda w: w.load)
-                shipped = columns_for(worker)
-                job_id = self._next_job_id
-                self._next_job_id += 1
-                worker.queue.put((
-                    "job", job_id, plane_id, version, shard,
-                    pair_names, limit, shipped,
-                ))
-                worker.load += cost
-                pending.jobs.append((job_id, worker, cost))
-                self.stats["jobs"] += 1
+            for record in records:
+                pending.jobs.append(record)
+                if self._degraded:
+                    self._run_record_inline_locked(record)
+                else:
+                    self._dispatch_record_locked(record)
+
+    def _dispatch_record_locked(self, record: _JobRecord) -> None:
+        """Hand one shard job to the least-loaded live worker (lock held)."""
+        worker = min(
+            (w for w in self._workers if not w.dead), key=lambda w: w.load
+        )
+        if record.plane is not None:
+            plane = record.plane
+            plane_id = plane.plane_id
+            shipped: Dict[str, object] = {}
+            for name in record.needed_names:
+                key = (plane_id, name)
+                if worker.columns.get(key) != record.version:
+                    column = plane.transport_column(name)
+                    shipped[name] = column
+                    worker.columns[key] = record.version
+                    self.stats["columns_shipped"] += 1
+                    if hasattr(column, "starts"):
+                        self.stats["columns_rle"] += 1
+                else:
+                    self.stats["column_refs"] += 1
+        else:
+            plane_id = None
+            shipped = record.columns
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        record.job_id = job_id
+        record.worker = worker
+        record.dispatched_at = time_module.monotonic()
+        worker.queue.put((
+            "job", job_id, plane_id, record.version, record.shard,
+            record.pair_names, record.limit, shipped,
+        ))
+        worker.load += record.cost
+        self._inflight[job_id] = record
+        self.stats["jobs"] += 1
+
+    # -- supervision -------------------------------------------------------------
+
+    def _sweep_locked(self) -> None:
+        """Reap timed-out and dead workers; requeue their in-flight shards.
+
+        Runs on every dispatch (the exitcode sweep) and on every idle tick
+        of a result wait (the liveness check), always under the lock.
+        """
+        if self._workers is None:
+            return
+        now = time_module.monotonic()
+        for record in list(self._inflight.values()):
+            worker = record.worker
+            if (
+                record.timeout is not None
+                and worker is not None
+                and not worker.dead
+                and now - record.dispatched_at > record.timeout
+                and worker.process.is_alive()
+            ):
+                # A job past its deadline is indistinguishable from a
+                # wedged worker (or a lost result message): retire the
+                # process and let the death path below recover the shard.
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+                self.stats["worker_timeouts"] += 1
+                if self._fault_plan is not None:
+                    self._fault_plan.notify("timeout", record.job_id)
+        for worker in list(self._workers):
+            if not worker.dead and not worker.process.is_alive():
+                self._handle_worker_death_locked(worker)
+
+    def _handle_worker_death_locked(self, worker: _WorkerHandle) -> None:
+        """Recover from one worker death: invalidate, respawn, requeue."""
+        worker.dead = True
+        worker.load = 0.0
+        # The resident-column cache died with the process; a replacement
+        # refills lazily through the ordinary ship-on-miss path.
+        worker.columns.clear()
+        self.stats["worker_deaths"] += 1
+        if self._fault_plan is not None:
+            self._fault_plan.notify("worker_death", worker.seq)
+        orphans = [r for r in self._inflight.values() if r.worker is worker]
+        for record in orphans:
+            del self._inflight[record.job_id]
+            # The dead worker may have flushed a result just before dying;
+            # the fresh dispatch below gets a new id, so the stale one is
+            # dropped on arrival exactly like an abandoned job's.
+            self._discarded.add(record.job_id)
+            record.worker = None
+            record.deaths += 1
+        if not self._degraded:
+            self._respawn_locked(worker.slot)
+        for record in orphans:
+            if not self._degraded and record.deaths < self.QUARANTINE_AFTER_DEATHS:
+                self._dispatch_record_locked(record)
+                self.stats["requeued_shards"] += 1
+            else:
+                self._run_record_inline_locked(
+                    record,
+                    quarantined=record.deaths >= self.QUARANTINE_AFTER_DEATHS,
+                )
+
+    def _respawn_locked(self, slot: int) -> Optional[_WorkerHandle]:
+        """Respawn a replacement into ``slot``; degrade the pool if the
+        host keeps refusing new processes."""
+        for _attempt in range(self.MAX_RESPAWN_ATTEMPTS):
+            try:
+                if self._fault_plan is not None:
+                    self._fault_plan.on_respawn(slot)
+                handle = self._spawn_handle(slot)
+            except BaseException:
+                continue
+            self._workers[slot] = handle
+            self.stats["respawns"] += 1
+            if self._fault_plan is not None:
+                self._fault_plan.notify("respawn", handle.seq)
+            return handle
+        self._degrade_locked()
+        return None
+
+    def _degrade_locked(self) -> None:
+        """Flip the pool to in-process execution for the rest of its life.
+
+        Jobs already in flight on *surviving* workers are left to finish
+        normally — only new dispatches (and the dead worker's orphans,
+        handled by the caller) run on the coordinator.
+        """
+        if self._degraded:
+            return
+        self._degraded = True
+        if self._fault_plan is not None:
+            self._fault_plan.notify("degraded", None)
+
+    def _run_record_inline_locked(
+        self, record: _JobRecord, quarantined: bool = False
+    ) -> None:
+        """Validate one shard on the coordinator and buffer its result.
+
+        The last rung of the recovery ladder: quarantined (twice-fatal)
+        shards and every shard of a degraded pool take this path, which is
+        exactly the ``num_workers=1`` computation — byte-identical results,
+        just without the parallelism.
+        """
+        try:
+            if record.plane is not None:
+                resolved = {
+                    name: record.plane.column(name)
+                    for name in record.needed_names
+                }
+            else:
+                resolved = {
+                    name: _materialize_column(column)
+                    for name, column in record.columns.items()
+                }
+            pairs = [(resolved[a], resolved[b]) for a, b in record.pair_names]
+            outcome = self.backend.oc_optimal_removal_count_batch(
+                record.shard, pairs, record.limit
+            )
+            payload: Tuple[str, object] = ("result", outcome)
+        except BaseException:
+            payload = ("error", _error_report(
+                record.plane.plane_id if record.plane is not None else None,
+                record.version, record.shard, record.pair_names,
+            ))
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        record.job_id = job_id
+        record.worker = None
+        self._results[job_id] = payload
+        self.stats["inline_fallbacks"] += 1
+        if quarantined:
+            self.stats["quarantined_shards"] += 1
+            if self._fault_plan is not None:
+                self._fault_plan.notify("quarantine", record.job_id)
 
     # -- harvesting --------------------------------------------------------------
 
@@ -822,9 +1276,9 @@ class ShardedValidationPool:
         totals = [0] * pending.num_pairs
         exceeded = [False] * pending.num_pairs
         jobs, pending.jobs = pending.jobs, []
-        for position, (job_id, worker, cost) in enumerate(jobs):
+        for position, record in enumerate(jobs):
             try:
-                payload = self._wait_result(job_id)
+                payload = self._wait_result(record)
             except BaseException:
                 # Settle the whole group before propagating: the failed
                 # job's load, and every remaining job's load and eventual
@@ -832,7 +1286,9 @@ class ShardedValidationPool:
                 self._settle_jobs(jobs[position:])
                 raise
             with self._lock:
-                worker.load -= cost
+                if record.worker is not None:
+                    record.worker.load -= record.cost
+                    record.worker = None
             for index, (count, over) in enumerate(payload):
                 totals[index] += count
                 exceeded[index] = exceeded[index] or over
@@ -855,47 +1311,58 @@ class ShardedValidationPool:
         """Release load accounting and discard the eventual results of jobs
         that will never be (fully) harvested."""
         with self._lock:
-            for job_id, worker, cost in jobs:
-                worker.load -= cost
-                if job_id in self._results:
-                    del self._results[job_id]
-                else:
-                    self._discarded.add(job_id)
+            for record in jobs:
+                if record.worker is not None:
+                    record.worker.load -= record.cost
+                    record.worker = None
+                if record.job_id in self._results:
+                    del self._results[record.job_id]
+                elif record.job_id in self._inflight:
+                    del self._inflight[record.job_id]
+                    self._discarded.add(record.job_id)
 
-    def _wait_result(self, job_id: int):
+    def _wait_result(self, record: _JobRecord):
         # Another harvesting thread may pull this job's message off the
         # shared result queue and buffer it, so the buffer is rechecked on
         # a short poll.  All buffer mutations happen under the lock, and
         # the discarded-check runs at *store* time inside it, so a result
         # arriving concurrently with abandon() is either dropped here or
         # deleted by _settle_jobs — never leaked.
+        #
+        # ``record.job_id`` is re-read under the lock on every pass: a
+        # supervision sweep may requeue (or inline-run) the job under a
+        # fresh id while this thread waits, in which case the result shows
+        # up in the buffer like any out-of-order arrival.
         kind = payload = None
         found = False
         while not found:
             with self._lock:
-                if job_id in self._results:
-                    kind, payload = self._results.pop(job_id)
+                if record.job_id in self._results:
+                    kind, payload = self._results.pop(record.job_id)
                     break
             try:
                 arrived = self._result_queue.get(timeout=0.1)
             except queue_module.Empty:
-                for worker in self._workers:
-                    if not worker.process.is_alive():
-                        raise RuntimeError(
-                            "a validation worker process died unexpectedly; "
-                            "close the pool and retry"
-                        )
+                # Idle tick: the liveness check.  A dead worker's shards
+                # are requeued (or run inline) by the sweep, so this wait
+                # always terminates — through a replacement worker, the
+                # coordinator itself, or a raised respawn failure.
+                with self._lock:
+                    self._sweep_locked()
                 continue
             with self._lock:
                 arrived_kind, arrived_id, arrived_payload = arrived
+                self._inflight.pop(arrived_id, None)
                 if arrived_id in self._discarded:
                     self._discarded.discard(arrived_id)
-                elif arrived_id == job_id:
+                elif arrived_id == record.job_id:
                     kind, payload = arrived_kind, arrived_payload
                     found = True
                 else:
                     self._results[arrived_id] = (arrived_kind, arrived_payload)
         if kind == "error":
+            if isinstance(payload, dict):
+                raise WorkerJobError(payload)
             raise RuntimeError(f"validation worker failed:\n{payload}")
         return payload
 
@@ -948,15 +1415,21 @@ class ShardedValidationPool:
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker processes down (idempotent)."""
+        """Shut the worker processes down (idempotent).
+
+        Bounded by construction: stop messages are non-blocking, the
+        result-queue drain and every join carry a timeout, stragglers are
+        terminated (then killed), and the queues' feeder threads are
+        detached — a wedged worker can never hang interpreter shutdown.
+        """
         if self._workers is None:
             return
         workers, self._workers = self._workers, None
         for worker in workers:
             try:
-                worker.queue.put(("stop",))
-            except (OSError, ValueError):  # pragma: no cover - teardown race
-                pass
+                worker.queue.put_nowait(("stop",))
+            except (OSError, ValueError, queue_module.Full):
+                pass  # pragma: no cover - teardown race / wedged queue
         # Drain straggling results so worker feeder threads never block on a
         # full pipe while trying to exit (abandoned jobs still produce
         # results nobody reads).
@@ -973,10 +1446,18 @@ class ShardedValidationPool:
             if worker.process.is_alive():  # pragma: no cover - stuck worker
                 worker.process.terminate()
                 worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - unkillable
+                kill = getattr(worker.process, "kill", None)
+                if kill is not None:
+                    kill()
+                    worker.process.join(timeout=1.0)
             worker.queue.close()
+            worker.queue.cancel_join_thread()
         self._result_queue.close()
+        self._result_queue.cancel_join_thread()
         self._results.clear()
         self._discarded.clear()
+        self._inflight.clear()
 
     def __enter__(self) -> "ShardedValidationPool":
         return self

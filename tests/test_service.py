@@ -12,6 +12,7 @@ from repro.discovery.api import discover_aods
 from repro.discovery.config import DiscoveryRequest
 from repro.discovery.results import DiscoveryResult
 from repro.service import ProfilerService, ServiceError, make_server
+from repro.validation.distributed import RESILIENCE_COUNTERS
 
 
 @pytest.fixture(scope="module")
@@ -52,6 +53,11 @@ class TestEndpoints:
         assert payload["datasets"] == 1
         cache = payload["result_cache"]
         assert set(cache) == {"hits", "misses", "entries"}
+        resilience = payload["resilience"]
+        assert set(resilience) == set(RESILIENCE_COUNTERS) | {"degraded"}
+        # The module fixture runs single-worker: no pool, no incidents.
+        assert resilience["degraded"] is False
+        assert all(resilience[key] == 0 for key in RESILIENCE_COUNTERS)
 
     def test_datasets_listing(self, server_url):
         status, payload = _get(server_url + "/datasets")
@@ -351,3 +357,43 @@ class TestAppendEndpoint:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _post(fresh_server + "/datasets/missing/append", {"rows": []})
         assert excinfo.value.code == 404
+
+
+class TestResilienceEndpoint:
+    """A worker death during service-driven discovery must surface in the
+    ``/healthz`` resilience block (own server: the shared module fixture
+    runs single-worker and must stay incident-free)."""
+
+    @pytest.fixture()
+    def pooled_server(self):
+        service = ProfilerService(num_workers=2)
+        service.add_dataset("demo", employee_salary_table())
+        # Force real dispatch so supervision has something to supervise
+        # on this tiny table.
+        service._pool.INLINE_GROUP_COST = 0
+        service._pool.MIN_SHARD_COST = 1
+        server = make_server(service, host="127.0.0.1", port=0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield f"http://127.0.0.1:{port}", service
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5)
+
+    def test_healthz_reports_worker_death_and_respawn(self, pooled_server):
+        url, service = pooled_server
+        victim = service._pool._workers[0]
+        victim.process.terminate()
+        victim.process.join(5.0)
+        status, body = _post(url + "/discover", {
+            "dataset": "demo", "request": {"threshold": 0.15},
+        })
+        assert status == 200
+        status, payload = _get(url + "/healthz")
+        assert status == 200
+        resilience = payload["resilience"]
+        assert resilience["worker_deaths"] >= 1
+        assert resilience["respawns"] >= 1
+        assert resilience["degraded"] is False

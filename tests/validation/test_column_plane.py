@@ -172,6 +172,40 @@ def test_abandoned_groups_never_poison_later_harvests(backend):
         assert plane.oc_counts_batch(classes, pairs, None) == expected
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_abandon_races_dying_worker(backend):
+    """``abandon`` against a worker that just died: the settled jobs must
+    stay settled when supervision discovers the corpse (no requeue of
+    abandoned work), and the respawned pool must still produce
+    byte-identical counts."""
+    resolved, encoded, names, classes = _workload(backend)
+    pairs = [(names[1], names[2]), (names[0], names[1])]
+    expected = resolved.oc_optimal_removal_count_batch(
+        classes,
+        [
+            (encoded.native_ranks(a), encoded.native_ranks(b))
+            for a, b in pairs
+        ],
+        None,
+    )
+    with ShardedValidationPool(2, backend=resolved) as pool:
+        _force_dispatch(pool)
+        plane = pool.new_plane(encoded)
+        pending = plane.submit(classes, pairs, None)
+        victim = pool._workers[0]
+        victim.process.terminate()
+        victim.process.join(5.0)
+        # Settle in-flight bookkeeping against the corpse before the
+        # supervisor has noticed the death.
+        plane.abandon(pending)
+        # The next dispatch sweeps the death and respawns; the abandoned
+        # shards must not be resurrected.
+        assert plane.oc_counts_batch(classes, pairs, None) == expected
+        assert pool.stats["worker_deaths"] == 1
+        assert pool.stats["respawns"] == 1
+        assert pool.stats["requeued_shards"] == 0
+
+
 @pytest.mark.parametrize("as_arrays", [False, True])
 def test_class_shard_round_trip(as_arrays):
     if as_arrays:
