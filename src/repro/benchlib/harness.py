@@ -59,6 +59,8 @@ class DiscoveryMeasurement:
     num_workers: int = 1
     #: Whether level validation overlapped workers with coordinator work.
     pipelined: bool = False
+    #: Execution-planning mode ("fixed" or "auto", see :mod:`repro.planner`).
+    plan: str = "fixed"
 
     def as_row(self) -> Dict[str, object]:
         """Flatten to a dict for the reporting tables."""
@@ -68,6 +70,7 @@ class DiscoveryMeasurement:
             "batched": self.batched,
             "workers": self.num_workers,
             "pipelined": self.pipelined,
+            "plan": self.plan,
             "seconds": round(self.seconds, 4),
             "ocs": self.num_ocs,
             "ofds": self.num_ofds,
@@ -88,6 +91,7 @@ def measure_discovery(
     batch_validation: bool = True,
     num_workers: int = 1,
     pipeline_validation: bool = True,
+    plan: str = "fixed",
 ) -> DiscoveryMeasurement:
     """Run discovery in one of the paper's three modes and time it.
 
@@ -105,6 +109,7 @@ def measure_discovery(
         batch_validation=batch_validation,
         num_workers=num_workers,
         pipeline_validation=pipeline_validation,
+        plan=plan,
     )
     if mode == "od":
         config = DiscoveryConfig.exact(**common)
@@ -135,6 +140,7 @@ def measure_discovery(
         batched=result.stats.batched,
         num_workers=result.stats.num_workers,
         pipelined=result.stats.pipelined,
+        plan=result.stats.plan_mode,
     )
 
 

@@ -36,7 +36,7 @@ from repro.applications.outlier_detection import detect_outliers
 from repro.backend import BACKEND_CHOICES, BACKEND_ENV_VAR
 from repro.dataset.csv_io import read_csv
 from repro.dataset.examples import employee_salary_table
-from repro.discovery.config import DiscoveryRequest
+from repro.discovery.config import PLAN_MODES, DiscoveryRequest
 from repro.discovery.session import Profiler
 
 #: The recognised subcommands (anything else is legacy ``discover`` syntax).
@@ -93,6 +93,13 @@ def _engine_options(parser: argparse.ArgumentParser) -> None:
         "--no-pipeline", action="store_true",
         help="disable pipelined level validation (synchronous worker "
              "dispatch; identical results; only meaningful with --workers)",
+    )
+    parser.add_argument(
+        "--plan", choices=PLAN_MODES, default="fixed",
+        help="execution planning: 'auto' lets the adaptive planner pick "
+             "workers/pipelining/shard sizes per level from a calibrated "
+             "cost model (identical results); 'fixed' (default) runs "
+             "exactly the configured knobs",
     )
     parser.add_argument(
         "--attributes", nargs="*", default=None,
@@ -302,6 +309,7 @@ def _request_from_args(args) -> DiscoveryRequest:
         num_workers=DiscoveryRequest.pin_workers(args.workers),
         pipeline_validation=not args.no_pipeline,
         worker_timeout=args.worker_timeout,
+        plan=args.plan,
     )
     if args.exact:
         return DiscoveryRequest.exact(**common)
@@ -337,6 +345,7 @@ def _cmd_sweep(args) -> int:
         num_workers=DiscoveryRequest.pin_workers(args.workers),
         pipeline_validation=not args.no_pipeline,
         worker_timeout=args.worker_timeout,
+        plan=args.plan,
     )
     start = time.perf_counter()
     with _session(relation, args) as session:

@@ -25,6 +25,12 @@ from repro.backend import BACKEND_CHOICES, ComputeBackend
 #: The validator names accepted by :class:`DiscoveryConfig.validator`.
 VALIDATOR_KINDS = ("exact", "optimal", "iterative")
 
+#: Execution-planning modes accepted by :class:`DiscoveryConfig.plan`:
+#: ``"fixed"`` runs exactly the configured knobs, ``"auto"`` lets the
+#: adaptive planner (:mod:`repro.planner`) choose workers / pipelining /
+#: shard floors per level within the configured ceilings.
+PLAN_MODES = ("fixed", "auto")
+
 
 @dataclass
 class DiscoveryConfig:
@@ -103,6 +109,16 @@ class DiscoveryConfig:
         retired and the shard is recovered (requeued, or validated on the
         coordinator) without changing results.  ``None`` (the default)
         waits indefinitely; only meaningful when ``num_workers > 1``.
+    plan:
+        Execution-planning mode.  ``"fixed"`` (the default) runs exactly
+        the configured knobs.  ``"auto"`` consults the adaptive planner
+        (:mod:`repro.planner`) at every level boundary: it may degrade the
+        level to in-process validation when parallelism cannot pay (e.g.
+        on a 1-core host), toggle pipelining, and tune the pool's shard
+        cost floors — within the configured ceilings (``num_workers`` is
+        the most workers the planner may use), and always with
+        byte-identical results.  Decisions are recorded on
+        :class:`~repro.discovery.stats.DiscoveryStatistics`.
     """
 
     threshold: float = 0.0
@@ -119,6 +135,7 @@ class DiscoveryConfig:
     num_workers: int = 1
     pipeline_validation: bool = True
     worker_timeout: Optional[float] = None
+    plan: str = "fixed"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.threshold <= 1.0:
@@ -151,6 +168,10 @@ class DiscoveryConfig:
         if self.worker_timeout is not None and self.worker_timeout <= 0:
             raise ValueError(
                 f"worker_timeout must be positive, got {self.worker_timeout}"
+            )
+        if self.plan not in PLAN_MODES:
+            raise ValueError(
+                f"plan must be one of {PLAN_MODES}, got {self.plan!r}"
             )
 
     @property
@@ -199,6 +220,7 @@ class DiscoveryRequest:
     num_workers: Optional[int] = None
     pipeline_validation: bool = True
     worker_timeout: Optional[float] = None
+    plan: str = "fixed"
 
     def __post_init__(self) -> None:
         if self.attributes is not None:
@@ -234,6 +256,7 @@ class DiscoveryRequest:
                "a number")
         expect("validator", self.validator, isinstance(self.validator, str),
                "a string")
+        expect("plan", self.plan, isinstance(self.plan, str), "a string")
         if self.attributes is not None:
             expect("attributes", self.attributes,
                    all(isinstance(a, str) for a in self.attributes),
@@ -318,6 +341,7 @@ class DiscoveryRequest:
             num_workers=effective_workers,
             pipeline_validation=self.pipeline_validation,
             worker_timeout=self.worker_timeout,
+            plan=self.plan,
             backend=backend,
             progress_callback=progress_callback,
         )
@@ -339,6 +363,7 @@ class DiscoveryRequest:
             num_workers=config.num_workers,
             pipeline_validation=config.pipeline_validation,
             worker_timeout=config.worker_timeout,
+            plan=config.plan,
         )
 
     # -- JSON boundary -----------------------------------------------------------

@@ -1,0 +1,43 @@
+"""Adaptive execution planner: the cost-model brain behind ``plan="auto"``.
+
+The discovery stack exposes many performance knobs — backend, batched
+scheduling, worker count, pipelining, shard cost floors — and the best
+setting is host-dependent: ``BENCH_discovery.json`` documents that on a
+1-core container four workers run at roughly half the speed of one.  This
+package owns that decision end to end:
+
+* :mod:`repro.planner.calibrate` — cheap micro-probes at session start
+  (kernel throughput per backend, per-shard dispatch overhead through the
+  column plane, ``os.cpu_count()``).
+* :mod:`repro.planner.model` — the three-scalar cost model those probes
+  seed, refined online from observed level timings and the finished run's
+  ``validation_share``.
+* :mod:`repro.planner.plan` — :class:`ExecutionPlan` (one level's
+  strategy) and :class:`ExecutionPlanner` (the session-lived chooser the
+  engine consults at every level boundary).
+
+Plans never change *what* is computed — every strategy is byte-identical
+by the repo's standing invariant — only how fast it runs.  Pin
+``plan="fixed"`` (the default) to bypass the planner entirely.
+"""
+
+from .calibrate import (
+    calibrate,
+    preferred_backend,
+    probe_dispatch_overhead,
+    probe_kernel_unit_seconds,
+)
+from .model import CostModel, cost_units
+from .plan import ExecutionPlan, ExecutionPlanner, build_planner
+
+__all__ = [
+    "CostModel",
+    "ExecutionPlan",
+    "ExecutionPlanner",
+    "build_planner",
+    "calibrate",
+    "cost_units",
+    "preferred_backend",
+    "probe_dispatch_overhead",
+    "probe_kernel_unit_seconds",
+]

@@ -1,0 +1,213 @@
+"""The planner's cost model: predict level wall-clock per strategy.
+
+The model is deliberately tiny — three calibrated scalars plus the host's
+core count — because its job is not to predict wall-clock precisely but to
+rank execution strategies correctly:
+
+``kernel_unit_seconds``
+    Seconds the session backend spends per *cost unit* of validation work,
+    where one candidate over one class of ``m`` rows costs
+    ``m * (1 + bit_length(max(m, 2)))`` units — the same ``m log m``
+    measure :mod:`repro.validation.distributed` uses to balance shards.
+    Calibrated by a micro-probe at session start
+    (:func:`repro.planner.calibrate.probe_kernel_unit_seconds`), refined
+    by an EWMA over observed level timings as the run progresses.
+
+``dispatch_overhead_seconds``
+    Coordinator-side cost of one shard round-trip through the validation
+    pool (pickle, queue, result merge).  Probed through a live pool when
+    one exists, otherwise a conservative default.
+
+``cpu_count``
+    ``os.cpu_count()`` at calibration.  The *effective* parallelism of
+    ``w`` workers is ``min(w, cpu_count)``: on a 1-core host every worker
+    count collapses to serial-plus-overhead, which is exactly the measured
+    inversion (w4 at ~0.52x of w1) the planner exists to avoid.
+
+All predictions are monotone in the obvious directions: more cores never
+makes a worker count look *less* profitable, and smaller levels never make
+dispatch look *more* profitable, so the recommendation functions below are
+safe to trust at the extremes (tiny levels always plan in-process; a
+1-core host always degrades to serial).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: EWMA smoothing factor for online refinement: recent levels dominate but
+#: a single noisy level cannot erase the calibration.
+EWMA_ALPHA = 0.35
+
+#: Floor for the calibrated scalars: a probe that measures ~0 (clock
+#: granularity) must not make dispatch look free or kernels infinitely
+#: fast.
+MIN_KERNEL_UNIT_SECONDS = 1e-10
+MIN_DISPATCH_OVERHEAD_SECONDS = 1e-4
+
+#: How many dispatch overheads a shard's compute must amortise before the
+#: planner considers the shard worth a process round-trip.
+SHARD_PAYOFF_RATIO = 8.0
+
+#: Groups cheaper than this many dispatch overheads run in-process even
+#: when the level as a whole uses workers.
+INLINE_PAYOFF_RATIO = 2.0
+
+
+def cost_units(class_size: int) -> float:
+    """Validation cost of one candidate over one class of ``class_size``
+    rows, in the pool's ``m log m`` units (mirrors
+    ``repro.validation.distributed._class_cost``)."""
+    if class_size <= 0:
+        return 0.0
+    return float(class_size * (1 + max(class_size, 2).bit_length()))
+
+
+@dataclass
+class CostModel:
+    """Calibrated throughput model for one session backend.
+
+    ``kernel_unit_seconds`` may carry per-backend probes in
+    ``backend_unit_seconds`` (used for reporting which backend the host
+    favours); predictions always use the scalar for the session backend.
+    """
+
+    cpu_count: int
+    kernel_unit_seconds: float
+    dispatch_overhead_seconds: float
+    backend: str = "python"
+    #: Per-backend kernel probes from calibration (name -> unit seconds).
+    backend_unit_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Multiplier mapping predicted validation seconds to level seconds:
+    #: refined from the run's observed ``validation_share`` (validation is
+    #: only part of a level — candidate generation and partition builds
+    #: ride on top).
+    overhead_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.cpu_count = max(1, int(self.cpu_count))
+        self.kernel_unit_seconds = max(
+            float(self.kernel_unit_seconds), MIN_KERNEL_UNIT_SECONDS
+        )
+        self.dispatch_overhead_seconds = max(
+            float(self.dispatch_overhead_seconds),
+            MIN_DISPATCH_OVERHEAD_SECONDS,
+        )
+
+    # -- predictions -------------------------------------------------------------
+
+    def effective_workers(self, num_workers: int) -> int:
+        """Workers that can actually run concurrently on this host."""
+        return max(1, min(int(num_workers), self.cpu_count))
+
+    def min_shard_cost(self) -> int:
+        """Cost floor under which a shard cannot amortise its round-trip."""
+        units = SHARD_PAYOFF_RATIO * self.dispatch_overhead_seconds \
+            / self.kernel_unit_seconds
+        return max(1, int(units))
+
+    def inline_group_cost(self) -> int:
+        """Cost floor under which a whole group should stay in-process."""
+        units = INLINE_PAYOFF_RATIO * self.dispatch_overhead_seconds \
+            / self.kernel_unit_seconds
+        return max(1, int(units))
+
+    def predict_serial_seconds(self, units: float) -> float:
+        """Wall-clock of validating ``units`` of work in-process."""
+        return units * self.kernel_unit_seconds * self.overhead_factor
+
+    def estimate_shards(self, units: float, num_workers: int) -> int:
+        """Shards the pool would plan for ``units`` at the model's floor."""
+        by_cost = max(1, int(units // self.min_shard_cost()))
+        return max(1, min(int(num_workers), by_cost))
+
+    def predict_parallel_seconds(self, units: float, num_workers: int) -> float:
+        """Wall-clock of validating ``units`` across ``num_workers``.
+
+        Compute divides across *effective* workers only; every planned
+        shard pays one dispatch round-trip on top.
+        """
+        effective = self.effective_workers(num_workers)
+        shards = self.estimate_shards(units, num_workers)
+        compute = units * self.kernel_unit_seconds / effective
+        return compute * self.overhead_factor \
+            + shards * self.dispatch_overhead_seconds
+
+    def predict_seconds(self, units: float, num_workers: int) -> float:
+        if num_workers <= 1:
+            return self.predict_serial_seconds(units)
+        return self.predict_parallel_seconds(units, num_workers)
+
+    def recommend_workers(self, units: float, max_workers: int) -> int:
+        """The worker count with the best predicted wall-clock.
+
+        Returns 1 (in-process) unless some worker count is a strict
+        improvement over serial: ties go to the simpler strategy, which is
+        also what makes a simulated 1-core host always degrade (parallel
+        there is serial plus dispatch overhead, never a strict win).
+        """
+        best_workers = 1
+        best_seconds = self.predict_serial_seconds(units)
+        for workers in range(2, max(1, int(max_workers)) + 1):
+            seconds = self.predict_parallel_seconds(units, workers)
+            if seconds < best_seconds:
+                best_workers, best_seconds = workers, seconds
+        return best_workers
+
+    # -- online refinement -------------------------------------------------------
+
+    def observe_serial(self, units: float, seconds: float) -> None:
+        """Fold an observed in-process level into ``kernel_unit_seconds``."""
+        if units <= 0 or seconds <= 0:
+            return
+        observed = seconds / (units * self.overhead_factor)
+        self.kernel_unit_seconds = max(
+            MIN_KERNEL_UNIT_SECONDS,
+            (1.0 - EWMA_ALPHA) * self.kernel_unit_seconds
+            + EWMA_ALPHA * observed,
+        )
+        self.backend_unit_seconds[self.backend] = self.kernel_unit_seconds
+
+    def observe_parallel(
+        self, units: float, seconds: float, num_workers: int
+    ) -> None:
+        """Fold an observed pooled level into the dispatch overhead.
+
+        The kernel term is assumed calibrated; whatever wall-clock the
+        prediction cannot explain is attributed to per-shard overhead.
+        """
+        if units <= 0 or seconds <= 0 or num_workers <= 1:
+            return
+        effective = self.effective_workers(num_workers)
+        shards = self.estimate_shards(units, num_workers)
+        compute = units * self.kernel_unit_seconds * self.overhead_factor \
+            / effective
+        residual = (seconds - compute) / shards
+        observed = max(MIN_DISPATCH_OVERHEAD_SECONDS, residual)
+        self.dispatch_overhead_seconds = max(
+            MIN_DISPATCH_OVERHEAD_SECONDS,
+            (1.0 - EWMA_ALPHA) * self.dispatch_overhead_seconds
+            + EWMA_ALPHA * observed,
+        )
+
+    def observe_validation_share(self, share: Optional[float]) -> None:
+        """Refine the validation-to-level overhead factor from a finished
+        run's :attr:`DiscoveryStatistics.validation_share`."""
+        if share is None or not 0.0 < share <= 1.0:
+            return
+        observed = 1.0 / max(share, 0.05)
+        self.overhead_factor = (1.0 - EWMA_ALPHA) * self.overhead_factor \
+            + EWMA_ALPHA * observed
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "cpu_count": self.cpu_count,
+            "backend": self.backend,
+            "kernel_unit_seconds": self.kernel_unit_seconds,
+            "dispatch_overhead_seconds": self.dispatch_overhead_seconds,
+            "overhead_factor": round(self.overhead_factor, 4),
+            "min_shard_cost": self.min_shard_cost(),
+            "inline_group_cost": self.inline_group_cost(),
+            "backend_unit_seconds": dict(self.backend_unit_seconds),
+        }

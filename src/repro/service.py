@@ -10,10 +10,14 @@ Endpoints (JSON in, JSON out; no dependencies beyond the stdlib):
 ``GET /healthz``
     ``{"status": "ok", "datasets": <count>, "result_cache": {hits, misses,
     entries}, "resilience": {worker_deaths, respawns, requeued_shards,
-    inline_fallbacks, quarantined_shards, worker_timeouts, degraded}}``.
+    inline_fallbacks, quarantined_shards, worker_timeouts, degraded},
+    "planner": {calibrated, datasets}}``.
     The resilience block aggregates the shared worker pool's recovery
     counters (all zero, ``degraded: false``, when the server runs without
-    worker processes).
+    worker processes).  The planner block carries one execution-planner
+    snapshot per dataset — cost-model parameters, calibration age and the
+    recent per-level decisions — or ``null`` for datasets that have never
+    served a ``plan="auto"`` run (see :mod:`repro.planner`).
 
 ``GET /datasets``
     The loaded datasets with row/attribute counts and warm-cache info.
@@ -282,6 +286,24 @@ class ProfilerService:
         snapshot["degraded"] = False
         return snapshot
 
+    def planner_stats(self) -> Dict[str, object]:
+        """Per-dataset execution-planner snapshots for ``/healthz``.
+
+        Stable schema: datasets that have never served a ``plan="auto"``
+        run report ``null`` (no planner has been calibrated for them), so
+        monitoring can always read the block.
+        """
+        per_dataset: Dict[str, object] = {
+            name: profiler.planner_info()
+            for name, profiler in self._profilers.items()
+        }
+        return {
+            "calibrated": sum(
+                1 for info in per_dataset.values() if info is not None
+            ),
+            "datasets": per_dataset,
+        }
+
     def close(self) -> None:
         """Close every session and the shared worker pool."""
         for profiler in self._profilers.values():
@@ -365,6 +387,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "datasets": len(self.service.dataset_names),
                     "result_cache": self.service.result_cache_stats(),
                     "resilience": self.service.resilience_stats(),
+                    "planner": self.service.planner_stats(),
                 })
             elif self.path == "/datasets":
                 self._send_json(200, {"datasets": self.service.describe()})

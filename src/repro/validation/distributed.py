@@ -126,6 +126,22 @@ _FAULT_EXIT_CODE = 86
 #: turn an error report into a multi-megabyte pickle.
 MAX_TRACEBACK_CHARS = 8192
 
+#: Default cost floor (in ``m log m`` units, see :func:`_class_cost`) below
+#: which a whole context group is validated in-process at submission instead
+#: of crossing the process boundary.  Overridable per pool (constructor),
+#: per pool instance (attribute), or per submit (execution planner).
+DEFAULT_INLINE_GROUP_COST = 32_768
+
+#: Default minimum shard cost: a group splits into at most ``num_workers``
+#: shards of no less than this.  Same three override channels as
+#: :data:`DEFAULT_INLINE_GROUP_COST`.
+DEFAULT_MIN_SHARD_COST = 65_536
+
+#: Seconds a blocked harvest waits on the result queue between liveness
+#: sweeps — the upper bound on how long a worker death can go unnoticed
+#: while a coordinator thread is parked waiting for results.
+LIVENESS_SWEEP_INTERVAL_SECONDS = 0.1
+
 #: Pool recovery counters mirrored per-run onto
 #: :class:`~repro.discovery.stats.DiscoveryStatistics` and aggregated on
 #: ``/healthz``.
@@ -675,10 +691,14 @@ class ColumnPlane:
     def submit(
         self, classes, pair_names, limit: Optional[int] = None,
         timeout: Optional[float] = None,
+        min_shard_cost: Optional[float] = None,
+        inline_group_cost: Optional[float] = None,
     ) -> PendingGroup:
         """Dispatch one context group asynchronously (see pool docs)."""
         return self._pool.submit_oc_group(self, classes, pair_names, limit,
-                                          timeout=timeout)
+                                          timeout=timeout,
+                                          min_shard_cost=min_shard_cost,
+                                          inline_group_cost=inline_group_cost)
 
     def harvest(self, pending: PendingGroup) -> List[Tuple[int, bool]]:
         """Block until ``pending``'s shards merged; returns per-pair counts."""
@@ -691,9 +711,15 @@ class ColumnPlane:
     def oc_counts_batch(
         self, classes, pair_names, limit: Optional[int] = None,
         timeout: Optional[float] = None,
+        min_shard_cost: Optional[float] = None,
+        inline_group_cost: Optional[float] = None,
     ) -> List[Tuple[int, bool]]:
         """Synchronous submit + harvest convenience."""
-        return self.harvest(self.submit(classes, pair_names, limit, timeout))
+        return self.harvest(self.submit(
+            classes, pair_names, limit, timeout,
+            min_shard_cost=min_shard_cost,
+            inline_group_cost=inline_group_cost,
+        ))
 
     def release(self) -> None:
         """Free this plane's worker-resident columns (idempotent)."""
@@ -747,6 +773,9 @@ class ShardedValidationPool:
     #: Respawn attempts per dead worker before the pool gives up on
     #: processes entirely and degrades to in-process execution.
     MAX_RESPAWN_ATTEMPTS = 3
+    #: Liveness sweep interval used by blocked harvests; class-level default
+    #: is :data:`LIVENESS_SWEEP_INTERVAL_SECONDS`.
+    SWEEP_INTERVAL_SECONDS = LIVENESS_SWEEP_INTERVAL_SECONDS
 
     def __init__(
         self,
@@ -754,6 +783,9 @@ class ShardedValidationPool:
         backend: BackendSpec = None,
         worker_timeout: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
+        inline_group_cost: Optional[float] = None,
+        min_shard_cost: Optional[float] = None,
+        sweep_interval: Optional[float] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
@@ -769,6 +801,16 @@ class ShardedValidationPool:
         #: job past it is treated as a worker death.  Overridable per
         #: dispatch, see :meth:`submit_oc_group`.
         self.worker_timeout = worker_timeout
+        # Cost knobs: explicit constructor values become instance attributes
+        # shadowing the class-level defaults, so both existing override
+        # styles (class monkeypatch before lazy construction, instance
+        # assignment after) keep working unchanged.
+        if inline_group_cost is not None:
+            self.INLINE_GROUP_COST = inline_group_cost
+        if min_shard_cost is not None:
+            self.MIN_SHARD_COST = min_shard_cost
+        if sweep_interval is not None:
+            self.SWEEP_INTERVAL_SECONDS = sweep_interval
         self._fault_plan = fault_plan
         self._next_worker_seq = 0
         self._result_queue = ctx.Queue()
@@ -886,15 +928,17 @@ class ShardedValidationPool:
     #: Context groups cheaper than this (in ``m log m`` cost units) are
     #: validated in-process at submission: the process round-trip would
     #: cost more than the kernel itself.
-    INLINE_GROUP_COST = 32_768
+    INLINE_GROUP_COST = DEFAULT_INLINE_GROUP_COST
     #: Minimum shard cost: a group splits into at most ``num_workers``
     #: shards of no less than this, so modest groups stay one message and
     #: parallelism comes from having many groups in flight.
-    MIN_SHARD_COST = 65_536
+    MIN_SHARD_COST = DEFAULT_MIN_SHARD_COST
 
     def submit_oc_group(
         self, plane: ColumnPlane, classes, pair_names,
         limit: Optional[int] = None, timeout: Optional[float] = None,
+        min_shard_cost: Optional[float] = None,
+        inline_group_cost: Optional[float] = None,
     ) -> PendingGroup:
         """Dispatch one context group's shards without waiting.
 
@@ -906,13 +950,19 @@ class ShardedValidationPool:
         are validated in-process instead and return already settled.
 
         ``timeout`` overrides the pool's ``worker_timeout`` for this
-        group's jobs (seconds per job; ``None`` inherits the pool default).
+        group's jobs (seconds per job; ``None`` inherits the pool default);
+        ``min_shard_cost`` / ``inline_group_cost`` override the pool's cost
+        knobs for this group only (the execution planner's channel).
         """
         self._require_open()
         pending = PendingGroup(num_pairs=len(pair_names), limit=limit)
         if pending.num_pairs == 0:
             return pending
-        shards, total_cost, needed_row = self._plan_shards(classes)
+        inline_floor = inline_group_cost if inline_group_cost is not None \
+            else self.INLINE_GROUP_COST
+        shards, total_cost, needed_row = self._plan_shards(
+            classes, min_shard_cost=min_shard_cost
+        )
         needed_names = sorted(set(chain.from_iterable(pair_names)))
         for name in needed_names:
             # The guard runs on the transport form: a RunLengthColumn's
@@ -924,14 +974,14 @@ class ShardedValidationPool:
             )
         if not shards:
             return pending
-        if self._degraded or total_cost < self.INLINE_GROUP_COST:
+        if self._degraded or total_cost < inline_floor:
             pairs = [
                 (plane.column(a), plane.column(b)) for a, b in pair_names
             ]
             pending.inline = self.backend.oc_optimal_removal_count_batch(
                 classes, pairs, limit
             )
-            if self._degraded and total_cost >= self.INLINE_GROUP_COST:
+            if self._degraded and total_cost >= inline_floor:
                 with self._lock:
                     self.stats["inline_fallbacks"] += 1
             else:
@@ -991,7 +1041,7 @@ class ShardedValidationPool:
         self._dispatch_records(pending, records)
         return self.harvest(pending)
 
-    def _plan_shards(self, classes):
+    def _plan_shards(self, classes, min_shard_cost: Optional[float] = None):
         """Pack ``classes`` into cost-balanced contiguous shards.
 
         Returns ``(shards, total_cost, needed_row)`` where ``shards`` is a
@@ -1000,10 +1050,14 @@ class ShardedValidationPool:
         class ranges — rather than the LPT assignment the per-candidate
         validator uses — keep the packing a pair of array slices on the
         columnar fast path; summation merging makes the composition
-        invisible in results.
+        invisible in results.  ``min_shard_cost`` overrides the pool's
+        shard-cost floor for this plan only; any composition yields the
+        same merged counts.
         """
+        shard_floor = min_shard_cost if min_shard_cost is not None \
+            else self.MIN_SHARD_COST
         if self._pack_arrays:
-            return self._plan_shards_arrays(classes)
+            return self._plan_shards_arrays(classes, shard_floor)
         class_lists = classes.classes if hasattr(classes, "classes") \
             else list(classes)
         if not class_lists:
@@ -1015,7 +1069,7 @@ class ShardedValidationPool:
             if len(rows) and rows[-1] > needed_row:
                 needed_row = rows[-1]
         total = float(sum(costs))
-        target = max(total / self.num_workers, float(self.MIN_SHARD_COST))
+        target = max(total / self.num_workers, float(shard_floor))
         shards: List[Tuple[ClassShard, float]] = []
         chunk: List[Sequence[int]] = []
         acc = 0.0
@@ -1029,7 +1083,7 @@ class ShardedValidationPool:
             shards.append((ClassShard.pack(chunk, False), acc))
         return shards, total, needed_row
 
-    def _plan_shards_arrays(self, classes):
+    def _plan_shards_arrays(self, classes, shard_floor: float):
         """Columnar shard planning: two array slices per shard.
 
         Reuses (and caches) the partition's flattened columnar view, so
@@ -1052,7 +1106,7 @@ class ShardedValidationPool:
         total = float(cum[-1])
         num_shards = min(
             self.num_workers,
-            max(1, -(-int(total) // self.MIN_SHARD_COST)),
+            max(1, -(-int(total) // max(int(shard_floor), 1))),
         )
         if num_shards > 1:
             targets = total * np.arange(1, num_shards) / num_shards
@@ -1341,7 +1395,9 @@ class ShardedValidationPool:
                     kind, payload = self._results.pop(record.job_id)
                     break
             try:
-                arrived = self._result_queue.get(timeout=0.1)
+                arrived = self._result_queue.get(
+                    timeout=self.SWEEP_INTERVAL_SECONDS
+                )
             except queue_module.Empty:
                 # Idle tick: the liveness check.  A dead worker's shards
                 # are requeued (or run inline) by the sweep, so this wait

@@ -58,6 +58,11 @@ class TestEndpoints:
         # The module fixture runs single-worker: no pool, no incidents.
         assert resilience["degraded"] is False
         assert all(resilience[key] == 0 for key in RESILIENCE_COUNTERS)
+        # The planner block has a stable schema even before any
+        # plan="auto" run has calibrated a model.
+        planner = payload["planner"]
+        assert set(planner) == {"calibrated", "datasets"}
+        assert set(planner["datasets"]) == {"demo"}
 
     def test_datasets_listing(self, server_url):
         status, payload = _get(server_url + "/datasets")
@@ -76,6 +81,26 @@ class TestEndpoints:
         reference = discover_aods(employee_salary_table(), threshold=0.15)
         assert served.ocs == reference.ocs
         assert served.ofds == reference.ofds
+
+    def test_discover_with_auto_plan_matches_and_calibrates(self, server_url):
+        status, body = _post(server_url + "/discover", {
+            "dataset": "demo",
+            "request": {"threshold": 0.15, "plan": "auto"},
+        })
+        assert status == 200
+        served = DiscoveryResult.from_json(body.decode("utf-8"))
+        reference = discover_aods(employee_salary_table(), threshold=0.15)
+        assert served.ocs == reference.ocs
+        assert served.ofds == reference.ofds
+        assert served.stats.plan_mode == "auto"
+        # The session's planner snapshot now travels on /healthz.
+        status, health = _get(server_url + "/healthz")
+        assert status == 200
+        planner = health["planner"]
+        assert planner["calibrated"] >= 1
+        info = planner["datasets"]["demo"]
+        assert info["model"]["cpu_count"] >= 1
+        assert info["levels_planned"] > 0
 
     def test_dataset_defaulting_with_single_dataset(self, server_url):
         status, body = _post(server_url + "/discover",
