@@ -182,6 +182,113 @@ def test_incremental_vs_cold(relation):
         assert measurement.speedup >= 2.0, measurement.as_row()
 
 
+OBSERVABILITY_RESULT = {}
+#: The ISSUE-9 acceptance bar: instrumentation with tracing *disabled*
+#: (the default) may cost at most this share of an untraced run.
+OVERHEAD_BUDGET_PCT = 2.0
+
+
+def test_observability_overhead(relation):
+    """The observability leg: tracing-off overhead and traced byte-identity.
+
+    Timing two whole runs against each other is hopelessly noisy at the
+    sub-percent scale this asserts, so the off-overhead is computed
+    deterministically: a counting no-op tracer tallies how many
+    instrumentation touchpoints one run actually executes, the cost of one
+    no-op touchpoint is micro-timed in isolation, and the product over the
+    untraced wall clock bounds the overhead.  The traced run is recorded
+    informationally (it pays for real span bookkeeping) and must discover
+    the byte-identical dependency sets."""
+    import timeit
+
+    from repro.obs import (
+        MetricsRegistry, NoopTracer, Tracer, set_metrics, use_tracer,
+    )
+
+    class CountingNoopTracer(NoopTracer):
+        """Counts every off-path instrumentation touchpoint."""
+
+        def __init__(self):
+            self.calls = 0
+
+        def span(self, name, parent=None, **attrs):
+            self.calls += 1
+            return super().span(name, parent, **attrs)
+
+        def start_span(self, name, parent=None, **attrs):
+            self.calls += 1
+            return None
+
+        def end_span(self, span):
+            self.calls += 1
+            return None
+
+        def current_span_id(self):
+            self.calls += 1
+            return None
+
+    relation.encoded(SWEEP_BACKEND)
+    kwargs = dict(
+        threshold=THRESHOLD, backend=SWEEP_BACKEND,
+        batch_validation=True, num_workers=1,
+    )
+    off = min(
+        (measure_discovery(relation, "aod-optimal", label="obs-off", **kwargs)
+         for _ in range(2)),
+        key=lambda m: m.seconds,
+    )
+
+    counting = CountingNoopTracer()
+    with use_tracer(counting):
+        counted = measure_discovery(
+            relation, "aod-optimal", label="obs-count", **kwargs
+        )
+    assert counting.calls > 0
+
+    noop = NoopTracer()
+
+    def _touchpoint():
+        with noop.span("bench", level=1):
+            pass
+
+    probe_n = 20000
+    per_call = min(timeit.repeat(_touchpoint, number=probe_n, repeat=3))
+    per_call /= probe_n
+    off_overhead_pct = 100.0 * counting.calls * per_call / off.seconds
+
+    tracer = Tracer()
+    previous_metrics = set_metrics(MetricsRegistry())
+    try:
+        with use_tracer(tracer):
+            on = measure_discovery(
+                relation, "aod-optimal", label="obs-traced", **kwargs
+            )
+    finally:
+        set_metrics(previous_metrics)
+
+    identical = (
+        on.result.ocs == off.result.ocs
+        and on.result.ofds == off.result.ofds
+        and counted.result.ocs == off.result.ocs
+        and counted.result.ofds == off.result.ofds
+    )
+    OBSERVABILITY_RESULT["observability"] = {
+        "touchpoints": counting.calls,
+        "noop_span_cost_us": round(per_call * 1e6, 4),
+        "off_seconds": round(off.seconds, 4),
+        "on_seconds": round(on.seconds, 4),
+        "spans": len(tracer.finished_spans()),
+        "tracing_off_overhead_pct": round(off_overhead_pct, 4),
+        "overhead_budget_pct": OVERHEAD_BUDGET_PCT,
+        "byte_identical": identical,
+    }
+    assert identical, "tracing changed the discovered dependency sets"
+    assert len(tracer.finished_spans()) > 0
+    assert off_overhead_pct <= OVERHEAD_BUDGET_PCT, (
+        OBSERVABILITY_RESULT["observability"]
+    )
+
+
 def _signature(measurement):
     """The discovered dependency sets: names, removal sizes, levels."""
     result = measurement.result
@@ -286,6 +393,9 @@ def _report(figure_report):
     incremental = INCREMENTAL_RESULT.get("incremental")
     if incremental is not None:
         payload["incremental"] = incremental.as_row()
+    observability = OBSERVABILITY_RESULT.get("observability")
+    if observability is not None:
+        payload["observability"] = observability
     # Merge into the existing report: other suites (the partition
     # micro-benchmarks) contribute their own records to the same file.
     report_path = results_dir / "BENCH_discovery.json"
@@ -296,6 +406,11 @@ def _report(figure_report):
     report_path.write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )
+    # Regenerate the human-readable summary wholesale from the merged JSON
+    # (never append: the old append-per-run flow made summary.txt drift).
+    from repro.benchlib.reporting import write_bench_summary
+
+    write_bench_summary(report_path, results_dir / "summary.txt")
 
     # The ISSUE-5 acceptance bar, meaningful only with the cores to overlap
     # on: sharded-and-pipelined must beat in-process.  Checked *after* the

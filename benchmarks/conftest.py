@@ -3,9 +3,12 @@
 Every ``bench_exp*.py`` module reproduces one experiment (table or figure)
 of the paper's evaluation section.  Benchmarks accumulate their measurements
 in module-level dictionaries and, when the module finishes, render the same
-series the paper plots via the ``figure_report`` fixture — printed to stdout
-and appended to ``benchmarks/results/summary.txt`` so the output survives
-the run.
+series the paper plots via the ``figure_report`` fixture (printed to
+stdout).  The persistent artifact is ``results/BENCH_discovery.json``;
+``results/summary.txt`` is *regenerated wholesale* from that JSON
+(:func:`repro.benchlib.reporting.write_bench_summary`, invoked by the e2e
+suite) — it is never appended to, so repeated runs cannot accumulate
+duplicate blocks the way the old append-on-report flow did.
 
 The workloads are synthetic, scaled-down stand-ins for the paper's
 ``flight`` and ``ncvoter`` datasets (see DESIGN.md); the absolute numbers
@@ -32,9 +35,13 @@ if str(SRC) not in sys.path:
 
 @pytest.fixture(scope="session")
 def figure_report():
-    """Return a callable that renders and persists one figure's data."""
+    """Return a callable that renders one figure's data to stdout.
+
+    Persistence happens through ``BENCH_discovery.json`` (and the
+    summary regenerated from it), not here: appending the rendered text
+    to ``summary.txt`` per call made the file drift — every run grew a
+    fresh copy of every figure."""
     RESULTS_DIR.mkdir(exist_ok=True)
-    summary_path = RESULTS_DIR / "summary.txt"
 
     def _report(title, x_label, x_values, series, annotations=None, notes=None):
         from repro.benchlib.reporting import render_figure
@@ -42,8 +49,6 @@ def figure_report():
         text = render_figure(title, x_label, x_values, series, annotations, notes)
         print()
         print(text)
-        with summary_path.open("a", encoding="utf-8") as handle:
-            handle.write(text + "\n\n")
         return text
 
     return _report

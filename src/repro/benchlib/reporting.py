@@ -74,6 +74,151 @@ def render_figure(
     return "\n".join(parts)
 
 
+def render_bench_summary(payload: Mapping[str, object]) -> str:
+    """Render ``benchmarks/results/summary.txt`` from the merged
+    ``BENCH_discovery.json`` payload.
+
+    The summary is *regenerated wholesale* on every benchmark run — it is a
+    view of the JSON, never appended to — so repeated runs can no longer
+    accumulate duplicate blocks (they previously did: every session's
+    ``figure_report`` appended its figures to the same file).
+    Records the payload does not carry are skipped, so a partial run
+    (e.g. only the partition micro-suite) still renders cleanly.
+    """
+    blocks: List[str] = []
+
+    partition = payload.get("partition")
+    if isinstance(partition, Mapping):
+        backends = partition.get("backends") or {}
+        operations = sorted({
+            op for timings in backends.values() for op in timings
+        })
+        headers = ["operation"] + [f"{name} (s)" for name in backends]
+        rows = [
+            [op] + [
+                f"{backends[name].get(op, float('nan')):.3f}"
+                for name in backends
+            ]
+            for op in operations
+        ]
+        notes = [
+            f"workload: flight-like, {partition.get('rows')} rows, "
+            f"{partition.get('attributes')} attributes; "
+            f"delta of {partition.get('delta_rows')} rows",
+        ]
+        if partition.get("product_speedup_vs_list") is not None:
+            notes.append(
+                "numpy product vs seed list-of-lists baseline: "
+                f"{partition['product_speedup_vs_list']}x "
+                f"(baseline {partition.get('numpy_product_list_baseline_s')}s)"
+            )
+        blocks.append("\n".join(
+            ["=== Partition micro-benchmarks (CSR layout) ===",
+             format_table(headers, rows), ""]
+            + [f"  note: {note}" for note in notes]
+        ))
+
+    runs = payload.get("runs")
+    if isinstance(runs, list) and runs:
+        notes = [f"workload: {payload.get('workload')}",
+                 "identical OC/OFD sets across all configurations (asserted)"]
+        if payload.get("batched_speedup"):
+            notes.append("batched speedup vs per-candidate: "
+                         f"{payload['batched_speedup']}")
+        if payload.get("worker_scaling"):
+            notes.append("worker scaling (pipelined, column plane): "
+                         f"{payload['worker_scaling']}")
+        blocks.append("\n".join(
+            ["=== End-to-end discovery: per-candidate vs batched vs sharded ===",
+             format_table(
+                 ["configuration", "seconds", "validation share"],
+                 [[run.get("label"), f"{run.get('seconds', 0.0):.3f}",
+                   f"{run.get('validation_share', 0.0):.3f}"]
+                  for run in runs],
+             ), ""]
+            + [f"  note: {note}" for note in notes]
+        ))
+
+    planner = payload.get("planner")
+    if isinstance(planner, Mapping):
+        best = planner.get("best_fixed") or {}
+        worst = planner.get("worst_fixed") or {}
+        blocks.append("\n".join([
+            "=== Adaptive planner vs fixed configurations ===",
+            format_table(
+                ["configuration", "seconds"],
+                [[planner.get("label"), f"{planner.get('seconds', 0.0):.3f}"]]
+                + [[case, f"{seconds:.3f}"] for case, seconds
+                   in sorted((planner.get("fixed") or {}).items())],
+            ),
+            "",
+            f"  note: best fixed {best.get('case')} {best.get('seconds')}s "
+            f"(planner ratio {planner.get('vs_best')}); worst fixed "
+            f"{worst.get('case')} {worst.get('seconds')}s "
+            f"(ratio {planner.get('vs_worst')})",
+            f"  note: cpu_count {planner.get('cpu_count')}, worker ceiling "
+            f"{planner.get('max_workers')}",
+        ]))
+
+    sweep = payload.get("sweep")
+    if isinstance(sweep, Mapping):
+        blocks.append(
+            "=== Session sweep: cold vs warm ===\n"
+            f"  thresholds {sweep.get('thresholds')} "
+            f"({sweep.get('backend')}): cold {sweep.get('cold_seconds')}s "
+            f"vs warm {sweep.get('warm_seconds')}s = "
+            f"{sweep.get('speedup')}x (memo hits: {sweep.get('memo_hits')})"
+        )
+
+    incremental = payload.get("incremental")
+    if isinstance(incremental, Mapping):
+        blocks.append(
+            "=== Incremental append vs cold re-discovery ===\n"
+            f"  append of {incremental.get('delta_rows')} rows "
+            f"({incremental.get('backend')}): cold "
+            f"{incremental.get('cold_seconds')}s vs incremental "
+            f"{incremental.get('incremental_seconds')}s = "
+            f"{incremental.get('speedup')}x "
+            f"(memo hits: {incremental.get('memo_hits')})"
+        )
+
+    observability = payload.get("observability")
+    if isinstance(observability, Mapping):
+        blocks.append("\n".join([
+            "=== Observability overhead (tracing off vs on) ===",
+            f"  instrumentation touchpoints: "
+            f"{observability.get('touchpoints')} "
+            f"(noop span cost {observability.get('noop_span_cost_us')}us)",
+            f"  tracing off: {observability.get('off_seconds')}s, "
+            f"projected overhead "
+            f"{observability.get('tracing_off_overhead_pct')}% "
+            f"(bar: <= {observability.get('overhead_budget_pct')}%)",
+            f"  tracing on: {observability.get('on_seconds')}s, "
+            f"{observability.get('spans')} spans recorded "
+            f"(results byte-identical: "
+            f"{observability.get('byte_identical')})",
+        ]))
+
+    rendered = "\n\n".join(blocks)
+    header = (
+        "Benchmark summary — generated from BENCH_discovery.json by "
+        "repro.benchlib.reporting.write_bench_summary; do not edit.\n"
+    )
+    return header + "\n" + rendered + ("\n" if rendered else "")
+
+
+def write_bench_summary(json_path, summary_path) -> str:
+    """Regenerate ``summary_path`` from the ``json_path`` payload; returns
+    the rendered text."""
+    import json
+    from pathlib import Path
+
+    payload = json.loads(Path(json_path).read_text(encoding="utf-8"))
+    text = render_bench_summary(payload)
+    Path(summary_path).write_text(text, encoding="utf-8")
+    return text
+
+
 def speedup_series(
     baseline: Sequence[float], improved: Sequence[float]
 ) -> List[float]:

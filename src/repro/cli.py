@@ -38,6 +38,8 @@ from repro.dataset.csv_io import read_csv
 from repro.dataset.examples import employee_salary_table
 from repro.discovery.config import PLAN_MODES, DiscoveryRequest
 from repro.discovery.session import Profiler
+from repro.obs import configure_logging
+from repro.obs.log import ENV_VAR as LOG_LEVEL_ENV_VAR
 
 #: The recognised subcommands (anything else is legacy ``discover`` syntax).
 COMMANDS = ("discover", "sweep", "serve", "extend")
@@ -113,6 +115,15 @@ def _engine_options(parser: argparse.ArgumentParser) -> None:
         "--time-limit", type=float, default=None,
         help="wall-clock budget in seconds (per run)",
     )
+    _log_level_option(parser)
+
+
+def _log_level_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="emit structured logs at this level (DEBUG/INFO/WARNING/"
+             f"ERROR; default: ${LOG_LEVEL_ENV_VAR} if set, else silent)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -147,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument(
         "--outliers", action="store_true",
         help="also print the most suspicious tuples",
+    )
+    discover.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a span trace of the run (coordinator phases plus "
+             "worker-side shard kernels) and write it to PATH as "
+             "Chrome-trace JSON (load in chrome://tracing or Perfetto); "
+             "results are unaffected",
     )
     discover.set_defaults(func=_cmd_discover)
 
@@ -231,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU bound on each session's retained partition cache "
              "(default: unbounded; evicted partitions are rebuilt)",
     )
+    _log_level_option(serve)
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
         "--port", type=int, default=8080,
@@ -264,6 +283,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               "the file of that name", file=sys.stderr)
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    try:
+        # No-op unless --log-level or $REPRO_LOG_LEVEL asks for output.
+        configure_logging(getattr(args, "log_level", None))
+    except ValueError as error:
+        parser.error(str(error))
 
     try:
         return args.func(args)
@@ -323,8 +348,23 @@ def _cmd_discover(args) -> int:
     if relation is None:
         return 2
     request = _request_from_args(args)
-    with _session(relation, args, warm=False) as session:
-        result = session.discover(request)
+    if args.trace:
+        from repro.obs import Tracer, set_tracer
+
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            with _session(relation, args, warm=False) as session:
+                result = session.discover(request)
+        finally:
+            set_tracer(previous)
+        spans = tracer.export(args.trace)
+        print(f"trace: {spans} span(s) written to {args.trace} "
+              "(Chrome-trace JSON; open in chrome://tracing or Perfetto)")
+        print()
+    else:
+        with _session(relation, args, warm=False) as session:
+            result = session.discover(request)
 
     print(result.summary())
     print()

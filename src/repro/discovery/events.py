@@ -60,12 +60,22 @@ class DependencyFound:
 @dataclass(frozen=True)
 class LevelCompleted:
     """A lattice level finished validating (never emitted for a level the
-    run was cancelled or timed out in)."""
+    run was cancelled or timed out in).
+
+    ``seconds`` is the level's wall-clock span (validation + recording);
+    the ``oc_seconds`` / ``ofd_seconds`` / ``partition_seconds`` split
+    mirrors the per-level breakdown kept in
+    :attr:`~repro.discovery.stats.DiscoveryStatistics.level_phase_seconds`.
+    """
 
     level: int
     num_nodes: int
     num_ocs: int
     num_ofds: int
+    seconds: float = 0.0
+    oc_seconds: float = 0.0
+    ofd_seconds: float = 0.0
+    partition_seconds: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -74,6 +84,10 @@ class LevelCompleted:
             "num_nodes": self.num_nodes,
             "num_ocs": self.num_ocs,
             "num_ofds": self.num_ofds,
+            "seconds": self.seconds,
+            "oc_seconds": self.oc_seconds,
+            "ofd_seconds": self.ofd_seconds,
+            "partition_seconds": self.partition_seconds,
         }
 
 

@@ -62,6 +62,7 @@ from repro.discovery.engine import DiscoveryEngine, config_uses_shard_pool
 from repro.discovery.events import DiscoveryEvent, RunCompleted
 from repro.discovery.results import DiscoveryResult
 from repro.incremental.delta import DeltaSummary, rows_to_columns
+from repro.obs import get_tracer
 
 
 #: Cap on per-request incremental baselines retained by a session (each is
@@ -373,9 +374,15 @@ class Profiler:
                 for key, patch in patches.class_patches.items()
             }
             patched = sum(1 for _ in self.partitions.cached_keys())
-        invalidated, adjusted, retained = self._repair_memo(
-            extended, patches_by_context, dropped_names
-        )
+        with get_tracer().span(
+            "memo-repair",
+            appended_rows=new_relation.num_rows - old_num_rows,
+            affected_contexts=len(patches_by_context),
+            dropped_contexts=len(dropped_names),
+        ):
+            invalidated, adjusted, retained = self._repair_memo(
+                extended, patches_by_context, dropped_names
+            )
         self.relation = new_relation
         self.encoded = extended
         self._dataset_version += 1

@@ -36,6 +36,17 @@ class DiscoveryStatistics:
     nodes_pruned: int = 0
     levels_processed: int = 0
     nodes_per_level: Dict[int, int] = field(default_factory=dict)
+    #: Wall-clock seconds per processed level (validation + recording; the
+    #: next level's candidate generation is accounted globally in
+    #: ``candidate_generation_seconds``).  Levels aborted by cancellation
+    #: or the time limit have no entry.
+    level_seconds: Dict[int, float] = field(default_factory=dict)
+    #: Per-level share of the phase timers: ``{level: {"oc": s, "ofd": s,
+    #: "partition": s}}``, measured by differencing the run-wide phase
+    #: accumulators at the level boundaries (no extra timers on hot paths).
+    level_phase_seconds: Dict[int, Dict[str, float]] = field(
+        default_factory=dict
+    )
     timed_out: bool = False
     #: ``True`` when the run was stopped early through a cancellation token.
     cancelled: bool = False
@@ -106,6 +117,11 @@ class DiscoveryStatistics:
             "nodes_pruned": self.nodes_pruned,
             "levels_processed": self.levels_processed,
             "nodes_per_level": dict(self.nodes_per_level),
+            "level_seconds": dict(self.level_seconds),
+            "level_phase_seconds": {
+                level: dict(split)
+                for level, split in self.level_phase_seconds.items()
+            },
             "timed_out": self.timed_out,
             "cancelled": self.cancelled,
             "validation_memo_hits": self.validation_memo_hits,
@@ -134,6 +150,18 @@ class DiscoveryStatistics:
         if per_level is not None:
             kwargs["nodes_per_level"] = {
                 int(level): count for level, count in per_level.items()
+            }
+        level_seconds = kwargs.get("level_seconds")
+        if level_seconds is not None:
+            kwargs["level_seconds"] = {
+                int(level): seconds
+                for level, seconds in level_seconds.items()
+            }
+        phase_seconds = kwargs.get("level_phase_seconds")
+        if phase_seconds is not None:
+            kwargs["level_phase_seconds"] = {
+                int(level): dict(split)
+                for level, split in phase_seconds.items()
             }
         return cls(**kwargs)
 

@@ -1,0 +1,51 @@
+"""`repro.obs` — the unified observability layer.
+
+Three pillars, all zero-cost until enabled:
+
+- :mod:`repro.obs.trace` — contextvar span tracing across the worker
+  boundary with Chrome-trace/Perfetto export (``repro discover --trace``).
+- :mod:`repro.obs.metrics` — process-wide counters/gauges/histograms with
+  Prometheus text exposition (``GET /metrics`` on ``repro serve``).
+- :mod:`repro.obs.log` — stdlib logging under the ``repro`` namespace
+  (``--log-level`` / ``REPRO_LOG_LEVEL``), NullHandler by default.
+
+Enabling any pillar never changes discovery results — byte-identity with
+observability on vs off is asserted differentially in ``tests/obs/``.
+"""
+
+from .log import configure as configure_logging, get_logger
+from .metrics import (
+    MetricsRegistry,
+    NOOP_REGISTRY,
+    NoopRegistry,
+    enable_metrics,
+    get_metrics,
+    set_metrics,
+)
+from .trace import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NOOP_REGISTRY",
+    "NOOP_TRACER",
+    "NoopRegistry",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "enable_metrics",
+    "get_logger",
+    "get_metrics",
+    "get_tracer",
+    "set_metrics",
+    "set_tracer",
+    "use_tracer",
+]

@@ -18,11 +18,15 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.obs import get_logger, get_metrics
+
 from .calibrate import calibrate, preferred_backend
 from .model import CostModel
 
 #: Decisions kept in the planner's rolling log (snapshot / ``/healthz``).
 MAX_DECISION_LOG = 64
+
+_log = get_logger("planner")
 
 
 @dataclass(frozen=True)
@@ -108,6 +112,11 @@ class ExecutionPlanner:
         }
         self.decisions.append(record)
         del self.decisions[:-MAX_DECISION_LOG]
+        _log.info(
+            "pool spawn vetoed: %s core(s) for %s requested worker(s)",
+            self.model.cpu_count, num_workers,
+        )
+        get_metrics().counter("repro_planner_pool_vetoes_total").inc()
         return record
 
     def plan_level(
@@ -178,6 +187,12 @@ class ExecutionPlanner:
         record["actual_seconds"] = round(actual_seconds, 6)
         self.decisions.append(record)
         del self.decisions[:-MAX_DECISION_LOG]
+        registry = get_metrics()
+        if registry.enabled:
+            registry.counter("repro_planner_levels_total").inc()
+            registry.histogram("repro_planner_abs_error_seconds").observe(
+                abs(actual_seconds - plan.predicted_seconds)
+            )
         return record
 
     def observe_run(self, stats) -> None:

@@ -11,13 +11,22 @@ Endpoints (JSON in, JSON out; no dependencies beyond the stdlib):
     ``{"status": "ok", "datasets": <count>, "result_cache": {hits, misses,
     entries}, "resilience": {worker_deaths, respawns, requeued_shards,
     inline_fallbacks, quarantined_shards, worker_timeouts, degraded},
-    "planner": {calibrated, datasets}}``.
+    "planner": {calibrated, datasets}, "metrics": {...}}``.
     The resilience block aggregates the shared worker pool's recovery
     counters (all zero, ``degraded: false``, when the server runs without
     worker processes).  The planner block carries one execution-planner
     snapshot per dataset — cost-model parameters, calibration age and the
     recent per-level decisions — or ``null`` for datasets that have never
-    served a ``plan="auto"`` run (see :mod:`repro.planner`).
+    served a ``plan="auto"`` run (see :mod:`repro.planner`).  The metrics
+    block is the plain-dict view of the process-wide metrics registry
+    (histograms collapse to ``{count, sum}``; see :mod:`repro.obs`).
+
+``GET /metrics``
+    Prometheus text exposition (version 0.0.4) of the same registry:
+    engine run/level counters, pool resilience counters, dispatch
+    round-trip and queue-wait histograms, planner prediction error, and
+    serve-layer cache traffic, plus scrape-time gauges (datasets hosted,
+    cache entries, pool degradation).
 
 ``GET /datasets``
     The loaded datasets with row/attribute counts and warm-cache info.
@@ -65,6 +74,7 @@ from repro.discovery.config import DiscoveryRequest
 from repro.discovery.events import DiscoveryEvent, RunCompleted
 from repro.discovery.results import DiscoveryResult
 from repro.discovery.session import Profiler
+from repro.obs import enable_metrics, get_metrics
 
 
 class ServiceError(Exception):
@@ -104,6 +114,10 @@ class ProfilerService:
         self._results: Dict[str, BoundedLRU] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        # Serving is the surface observability exists for: install the
+        # process-wide metrics registry (idempotent) so engine, pool, and
+        # planner instrumentation lands in /metrics and /healthz.
+        enable_metrics()
 
     #: Per-dataset cap on cached results (each is a full DiscoveryResult).
     max_cached_results = 128
@@ -204,8 +218,10 @@ class ProfilerService:
             cached = self._results[name].get(key)
             if cached is not None:
                 self._cache_hits += 1
+                get_metrics().counter("repro_result_cache_hits_total").inc()
                 return cached
             self._cache_misses += 1
+            get_metrics().counter("repro_result_cache_misses_total").inc()
             result = self._profilers[name].discover(request)
             self._store_result(name, key, result)
             return result
@@ -304,6 +320,31 @@ class ProfilerService:
             "datasets": per_dataset,
         }
 
+    def _refresh_gauges(self) -> None:
+        """Set the scrape-time gauges from current service state."""
+        registry = get_metrics()
+        if not registry.enabled:
+            return
+        resilience = self.resilience_stats()
+        registry.gauge("repro_pool_degraded").set(
+            1 if resilience.get("degraded") else 0
+        )
+        registry.gauge("repro_datasets").set(len(self._profilers))
+        registry.gauge("repro_result_cache_entries").set(
+            sum(len(cache) for cache in self._results.values())
+        )
+
+    def metrics_text(self) -> str:
+        """The Prometheus text-exposition body for ``GET /metrics``."""
+        self._refresh_gauges()
+        return get_metrics().render_prometheus()
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Plain-dict metrics for the ``metrics`` section of ``/healthz``
+        (histograms collapse to ``{count, sum}``)."""
+        self._refresh_gauges()
+        return get_metrics().snapshot()
+
     def close(self) -> None:
         """Close every session and the shared worker pool."""
         for profiler in self._profilers.values():
@@ -349,6 +390,16 @@ class _Handler(BaseHTTPRequestHandler):
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
 
+    def _send_metrics(self) -> None:
+        body = self.service.metrics_text().encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     #: Upper bound on request bodies: requests are small JSON documents,
     #: so anything past this is a client error, not a payload to buffer.
     max_body_bytes = 1 << 20
@@ -388,7 +439,10 @@ class _Handler(BaseHTTPRequestHandler):
                     "result_cache": self.service.result_cache_stats(),
                     "resilience": self.service.resilience_stats(),
                     "planner": self.service.planner_stats(),
+                    "metrics": self.service.metrics_snapshot(),
                 })
+            elif self.path == "/metrics":
+                self._send_metrics()
             elif self.path == "/datasets":
                 self._send_json(200, {"datasets": self.service.describe()})
             else:

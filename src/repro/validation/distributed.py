@@ -112,8 +112,11 @@ from repro.dataset.encoding import EXTEND_APPENDED
 from repro.dataset.partition import PartitionCache
 from repro.dataset.relation import Relation
 from repro.dependencies.oc import CanonicalOC
+from repro.obs import get_logger, get_metrics, get_tracer
 from repro.validation.common import context_classes, removal_limit, validation_backend
 from repro.validation.result import ValidationResult
+
+_log = get_logger("validation.pool")
 
 #: Execution modes accepted by :func:`validate_aoc_distributed`.
 EXECUTION_MODES = ("simulated", "process")
@@ -438,6 +441,31 @@ def _materialize_column(column):
     return column
 
 
+class TracedOutcome:
+    """A shard outcome with the worker's piggybacked timing spans.
+
+    When a job message carries ``timing=True`` the worker wraps its result
+    payload in one of these: ``outcome`` is the untouched kernel result
+    (so merged counts — and therefore discovery results — are byte-identical
+    with timing on or off), ``spans`` the plain span dicts
+    (``{"name", "start", "end", "pid", ...}``) the coordinator re-parents
+    under the dispatching span at harvest (see
+    :meth:`repro.obs.trace.Tracer.attach_worker_spans`).
+    """
+
+    __slots__ = ("outcome", "spans")
+
+    def __init__(self, outcome, spans) -> None:
+        self.outcome = outcome
+        self.spans = spans
+
+    def __getstate__(self):
+        return (self.outcome, self.spans)
+
+    def __setstate__(self, state):
+        self.outcome, self.spans = state
+
+
 def _plane_worker_main(task_queue, result_queue, backend, fault=None) -> None:
     """Message loop of one persistent pool worker process.
 
@@ -459,7 +487,8 @@ def _plane_worker_main(task_queue, result_queue, backend, fault=None) -> None:
         if kind == "stop":
             break
         if kind == "job":
-            _, job_id, plane_id, version, shard, pair_names, limit, shipped = message
+            (_, job_id, plane_id, version, shard, pair_names, limit, shipped,
+             timing) = message
             drop_result = exit_after = False
             if fault is not None:
                 if fault.exit_before_job == ordinal:
@@ -489,9 +518,18 @@ def _plane_worker_main(task_queue, result_queue, backend, fault=None) -> None:
                             )
                         resolved[name] = entry[1]
                 pairs = [(resolved[a], resolved[b]) for a, b in pair_names]
+                kernel_started = time_module.time() if timing else 0.0
                 outcome = backend.oc_optimal_removal_count_batch(
                     shard, pairs, limit
                 )
+                if timing:
+                    outcome = TracedOutcome(outcome, [{
+                        "name": "shard-kernel",
+                        "start": kernel_started,
+                        "end": time_module.time(),
+                        "pid": os.getpid(),
+                        "num_pairs": len(pair_names),
+                    }])
                 if not drop_result:
                     result_queue.put(("result", job_id, outcome))
             except BaseException:
@@ -565,7 +603,7 @@ class _JobRecord:
     __slots__ = (
         "job_id", "worker", "cost", "shard", "pair_names", "limit",
         "plane", "version", "needed_names", "columns", "deaths",
-        "dispatched_at", "timeout",
+        "dispatched_at", "dispatched_wall", "trace_parent", "timeout",
     )
 
     def __init__(self, shard, cost, pair_names, limit, plane, version,
@@ -582,6 +620,12 @@ class _JobRecord:
         self.columns = columns
         self.deaths = 0
         self.dispatched_at = 0.0
+        #: Wall-clock twin of ``dispatched_at`` (monotonic drives timeouts;
+        #: the wall clock lines dispatch spans up with worker-side spans).
+        self.dispatched_wall = 0.0
+        #: Span id active at submission — the parent for this shard's
+        #: dispatch span (survives requeues; the *last* dispatch is traced).
+        self.trace_parent: Optional[int] = None
         self.timeout = timeout
 
 
@@ -1135,9 +1179,17 @@ class ShardedValidationPool:
         # not interleave with another thread's dispatch, or a job could be
         # enqueued behind a "shipped" marker whose payload races it.  The
         # sweep runs first so no job is handed to an already-dead worker.
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Capture the submit-site span (oc-submit / oc-batch) as the
+            # parent for every shard-dispatch span of this group.
+            parent = tracer.current_span_id()
+            for record in records:
+                record.trace_parent = parent
         with self._lock:
             self._sweep_locked()
             self.stats["groups"] += 1
+            get_metrics().counter("repro_pool_groups_total").inc()
             for record in records:
                 pending.jobs.append(record)
                 if self._degraded:
@@ -1173,13 +1225,19 @@ class ShardedValidationPool:
         record.job_id = job_id
         record.worker = worker
         record.dispatched_at = time_module.monotonic()
+        record.dispatched_wall = time_module.time()
+        # Workers cannot see the coordinator's tracer/registry singletons
+        # (no fork-state assumption), so the timing opt-in travels on the
+        # job message itself.
+        timing = get_tracer().enabled or get_metrics().enabled
         worker.queue.put((
             "job", job_id, plane_id, record.version, record.shard,
-            record.pair_names, record.limit, shipped,
+            record.pair_names, record.limit, shipped, timing,
         ))
         worker.load += record.cost
         self._inflight[job_id] = record
         self.stats["jobs"] += 1
+        get_metrics().counter("repro_pool_jobs_total").inc()
 
     # -- supervision -------------------------------------------------------------
 
@@ -1207,6 +1265,12 @@ class ShardedValidationPool:
                 worker.process.terminate()
                 worker.process.join(timeout=5.0)
                 self.stats["worker_timeouts"] += 1
+                get_metrics().counter("repro_pool_worker_timeouts_total").inc()
+                _log.warning(
+                    "pool worker seq=%s exceeded the %.1fs job timeout on "
+                    "job %s; terminating it (the shard will be recovered)",
+                    worker.seq, record.timeout, record.job_id,
+                )
                 if self._fault_plan is not None:
                     self._fault_plan.notify("timeout", record.job_id)
         for worker in list(self._workers):
@@ -1221,9 +1285,15 @@ class ShardedValidationPool:
         # refills lazily through the ordinary ship-on-miss path.
         worker.columns.clear()
         self.stats["worker_deaths"] += 1
+        get_metrics().counter("repro_pool_worker_deaths_total").inc()
         if self._fault_plan is not None:
             self._fault_plan.notify("worker_death", worker.seq)
         orphans = [r for r in self._inflight.values() if r.worker is worker]
+        _log.warning(
+            "pool worker seq=%s (slot %s) died with exitcode %s; "
+            "recovering %d in-flight shard(s)",
+            worker.seq, worker.slot, worker.process.exitcode, len(orphans),
+        )
         for record in orphans:
             del self._inflight[record.job_id]
             # The dead worker may have flushed a result just before dying;
@@ -1238,6 +1308,7 @@ class ShardedValidationPool:
             if not self._degraded and record.deaths < self.QUARANTINE_AFTER_DEATHS:
                 self._dispatch_record_locked(record)
                 self.stats["requeued_shards"] += 1
+                get_metrics().counter("repro_pool_requeued_shards_total").inc()
             else:
                 self._run_record_inline_locked(
                     record,
@@ -1253,9 +1324,18 @@ class ShardedValidationPool:
                     self._fault_plan.on_respawn(slot)
                 handle = self._spawn_handle(slot)
             except BaseException:
+                _log.warning(
+                    "respawn attempt %d/%d for pool slot %s failed",
+                    _attempt + 1, self.MAX_RESPAWN_ATTEMPTS, slot,
+                )
                 continue
             self._workers[slot] = handle
             self.stats["respawns"] += 1
+            get_metrics().counter("repro_pool_respawns_total").inc()
+            _log.info(
+                "respawned pool worker into slot %s (seq=%s)",
+                slot, handle.seq,
+            )
             if self._fault_plan is not None:
                 self._fault_plan.notify("respawn", handle.seq)
             return handle
@@ -1272,6 +1352,11 @@ class ShardedValidationPool:
         if self._degraded:
             return
         self._degraded = True
+        _log.warning(
+            "validation pool degraded to in-process execution for the rest "
+            "of its life (host kept refusing worker respawns)"
+        )
+        get_metrics().gauge("repro_pool_degraded").set(1)
         if self._fault_plan is not None:
             self._fault_plan.notify("degraded", None)
 
@@ -1312,8 +1397,15 @@ class ShardedValidationPool:
         record.worker = None
         self._results[job_id] = payload
         self.stats["inline_fallbacks"] += 1
+        get_metrics().counter("repro_pool_inline_fallbacks_total").inc()
         if quarantined:
             self.stats["quarantined_shards"] += 1
+            get_metrics().counter("repro_pool_quarantined_shards_total").inc()
+            _log.warning(
+                "shard quarantined after %d worker death(s); validated on "
+                "the coordinator instead of a third dispatch",
+                record.deaths,
+            )
             if self._fault_plan is not None:
                 self._fault_plan.notify("quarantine", record.job_id)
 
@@ -1343,6 +1435,7 @@ class ShardedValidationPool:
                 if record.worker is not None:
                     record.worker.load -= record.cost
                     record.worker = None
+            payload = self._observe_harvest(record, payload)
             for index, (count, over) in enumerate(payload):
                 totals[index] += count
                 exceeded[index] = exceeded[index] or over
@@ -1352,6 +1445,44 @@ class ShardedValidationPool:
                 for total, over in zip(totals, exceeded)
             ]
         return list(zip(totals, exceeded))
+
+    def _observe_harvest(self, record: _JobRecord, payload):
+        """Unwrap piggybacked worker timing; record spans and latencies.
+
+        Returns the bare kernel outcome either way — observability wraps
+        the transport, never the numbers.  Shards recovered inline (their
+        ``dispatched_wall`` is 0.0 unless a worker dispatch preceded the
+        recovery) simply carry no worker spans.
+        """
+        spans = None
+        if isinstance(payload, TracedOutcome):
+            spans = payload.spans
+            payload = payload.outcome
+        if record.dispatched_wall:
+            registry = get_metrics()
+            if registry.enabled:
+                registry.histogram("repro_pool_round_trip_seconds").observe(
+                    time_module.monotonic() - record.dispatched_at
+                )
+                if spans:
+                    registry.histogram(
+                        "repro_pool_queue_wait_seconds"
+                    ).observe(
+                        max(0.0, spans[0]["start"] - record.dispatched_wall)
+                    )
+            tracer = get_tracer()
+            if tracer.enabled:
+                shard_span = tracer.record_span(
+                    "shard-dispatch",
+                    record.dispatched_wall, time_module.time(),
+                    parent=record.trace_parent,
+                    job_id=record.job_id,
+                    cost=round(record.cost, 1),
+                    deaths=record.deaths,
+                )
+                if spans:
+                    tracer.attach_worker_spans(spans, shard_span)
+        return payload
 
     def abandon(self, pending: PendingGroup) -> None:
         """Give up on a pending group (idempotent; interrupted runs).

@@ -136,3 +136,55 @@ class TestReporting:
         assert projected_quadratic_runtime(1.0, 100, 200) == 4.0
         with pytest.raises(ValueError):
             projected_quadratic_runtime(1.0, 0, 10)
+
+
+class TestBenchSummary:
+    PAYLOAD = {
+        "workload": "flight-like, 2000 rows, threshold 0.1",
+        "runs": [
+            {"label": "python-batched-w1", "seconds": 0.35,
+             "validation_share": 0.84},
+            {"label": "numpy-batched-w1", "seconds": 0.21,
+             "validation_share": 0.85},
+        ],
+        "batched_speedup": {"python": 1.09},
+        "sweep": {"thresholds": [0.06, 0.09], "backend": "numpy",
+                  "cold_seconds": 1.0, "warm_seconds": 0.5, "speedup": 2.0,
+                  "memo_hits": [0, 9]},
+        "observability": {
+            "touchpoints": 120, "noop_span_cost_us": 0.4,
+            "off_seconds": 0.2, "on_seconds": 0.21, "spans": 73,
+            "tracing_off_overhead_pct": 0.02, "overhead_budget_pct": 2.0,
+            "byte_identical": True,
+        },
+    }
+
+    def test_render_is_a_wholesale_view_of_the_json(self):
+        from repro.benchlib.reporting import render_bench_summary
+
+        text = render_bench_summary(self.PAYLOAD)
+        assert "do not edit" in text
+        assert "numpy-batched-w1" in text
+        assert "Session sweep" in text
+        assert "Observability overhead" in text
+        assert "0.02" in text
+        # Records the payload does not carry are skipped, not rendered
+        # empty (a partial run still produces a clean summary).
+        assert "Partition micro-benchmarks" not in text
+        assert "Adaptive planner" not in text
+
+    def test_write_regenerates_instead_of_appending(self, tmp_path):
+        import json
+
+        from repro.benchlib.reporting import write_bench_summary
+
+        json_path = tmp_path / "BENCH_discovery.json"
+        summary_path = tmp_path / "summary.txt"
+        json_path.write_text(json.dumps(self.PAYLOAD), encoding="utf-8")
+        first = write_bench_summary(json_path, summary_path)
+        second = write_bench_summary(json_path, summary_path)
+        # Idempotent: repeated runs must not grow the file (the drift the
+        # old append-per-report flow caused).
+        assert first == second
+        assert summary_path.read_text(encoding="utf-8") == second
+        assert second.count("End-to-end discovery") == 1

@@ -76,3 +76,55 @@ class TestStatistics:
         with PhaseTimer(stats, "oc_validation_seconds"):
             time.sleep(0.01)
         assert stats.oc_validation_seconds >= 0.02
+
+    def test_level_timing_round_trips_the_json_boundary(self):
+        stats = DiscoveryStatistics(
+            level_seconds={2: 0.5, 3: 0.25},
+            level_phase_seconds={
+                2: {"oc": 0.3, "ofd": 0.1, "partition": 0.05},
+            },
+        )
+        flattened = stats.as_dict()
+        assert flattened["level_seconds"] == {2: 0.5, 3: 0.25}
+        # JSON object keys are strings; from_dict restores the int levels.
+        rehydrated = DiscoveryStatistics.from_dict(
+            {
+                **flattened,
+                "level_seconds": {"2": 0.5, "3": 0.25},
+                "level_phase_seconds": {
+                    "2": {"oc": 0.3, "ofd": 0.1, "partition": 0.05},
+                },
+            }
+        )
+        assert rehydrated.level_seconds == {2: 0.5, 3: 0.25}
+        assert rehydrated.level_phase_seconds[2]["ofd"] == 0.1
+
+    def test_engine_records_per_level_timing(self):
+        from repro.dataset.examples import employee_salary_table
+        from repro.discovery.api import discover_aods
+
+        result = discover_aods(employee_salary_table(), threshold=0.1)
+        stats = result.stats
+        assert stats.levels_processed > 0
+        assert set(stats.level_seconds) == set(stats.level_phase_seconds)
+        assert len(stats.level_seconds) == stats.levels_processed
+        for level, seconds in stats.level_seconds.items():
+            assert seconds >= 0.0
+            split = stats.level_phase_seconds[level]
+            assert set(split) == {"oc", "ofd", "partition"}
+            assert all(value >= 0.0 for value in split.values())
+
+    def test_level_completed_event_carries_the_timing_split(self):
+        from repro.discovery.events import LevelCompleted
+
+        event = LevelCompleted(
+            level=2, num_nodes=4, num_ocs=1, num_ofds=2,
+            seconds=0.5, oc_seconds=0.3, ofd_seconds=0.1,
+            partition_seconds=0.05,
+        )
+        payload = event.to_dict()
+        assert payload["event"] == "level_completed"
+        assert payload["seconds"] == 0.5
+        assert payload["oc_seconds"] == 0.3
+        assert payload["ofd_seconds"] == 0.1
+        assert payload["partition_seconds"] == 0.05

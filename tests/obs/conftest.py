@@ -1,0 +1,23 @@
+"""Observability tests run against a clean process-default state.
+
+The tracer and metrics registry are process-wide singletons; other suites
+(e.g. the service tests, whose ``ProfilerService`` enables metrics) may
+install real instances for the rest of the session.  Pin both to their
+no-op defaults around every test here so the suite is order-independent,
+and restore whatever was installed afterwards.
+"""
+
+import pytest
+
+from repro.obs import NOOP_REGISTRY, NOOP_TRACER, set_metrics, set_tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability_state():
+    previous_tracer = set_tracer(NOOP_TRACER)
+    previous_metrics = set_metrics(NOOP_REGISTRY)
+    try:
+        yield
+    finally:
+        set_tracer(previous_tracer)
+        set_metrics(previous_metrics)
