@@ -199,6 +199,32 @@ def render_bench_summary(payload: Mapping[str, object]) -> str:
             f"{observability.get('byte_identical')})",
         ]))
 
+    serve = payload.get("serve")
+    if isinstance(serve, Mapping):
+        backends = serve.get("backends") or {}
+        blocks.append("\n".join(
+            ["=== Serve-layer load (admission control under concurrency) ===",
+             format_table(
+                 ["backend", "accepted", "rejected", "rejection rate",
+                  "p50 (ms)", "p95 (ms)"],
+                 [[name,
+                   str(record.get("accepted")),
+                   str(record.get("rejected")),
+                   f"{record.get('rejection_rate', 0.0):.3f}",
+                   f"{record.get('p50_latency_ms', 0.0):.2f}",
+                   f"{record.get('p95_latency_ms', 0.0):.2f}"]
+                  for name, record in sorted(backends.items())],
+             ), "",
+             f"  note: {serve.get('concurrency')} clients x "
+             f"{serve.get('requests_per_client')} requests against one "
+             f"dataset ({serve.get('rows')} rows), "
+             f"queue_depth={serve.get('queue_depth')}, "
+             f"max_inflight={serve.get('max_inflight')}",
+             "  note: rejections are 429/503 responses (no client "
+             "retries); percentiles cover accepted requests only",
+             ]
+        ))
+
     rendered = "\n\n".join(blocks)
     header = (
         "Benchmark summary — generated from BENCH_discovery.json by "

@@ -27,7 +27,10 @@ to ``discover``.
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -254,6 +257,42 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--port", type=int, default=8080,
         help="TCP port (0 picks a free port; default 8080)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-connection socket timeout; a client that stops reading "
+             "or writing past it is disconnected (default 300)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=None, metavar="N",
+        help="admission queue depth per dataset; requests beyond it are "
+             "rejected 429 with Retry-After (default 8)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="global cap on admitted requests (executing + queued); "
+             "beyond it the server answers 503 (default 32)",
+    )
+    serve.add_argument(
+        "--default-deadline", type=float, default=None, metavar="SECONDS",
+        help="deadline applied to requests that do not send "
+             "deadline_seconds (default: none)",
+    )
+    serve.add_argument(
+        "--auth-token", default=None, metavar="TOKEN",
+        help="bearer token required for dataset lifecycle endpoints "
+             "(PUT/DELETE /datasets/<name>); defaults to the "
+             "REPRO_SERVE_TOKEN environment variable",
+    )
+    serve.add_argument(
+        "--dataset-ttl", type=float, default=None, metavar="SECONDS",
+        help="evict uploaded (non-pinned) datasets idle longer than this "
+             "(default: keep forever)",
+    )
+    serve.add_argument(
+        "--grace-period", type=float, default=10.0, metavar="SECONDS",
+        help="drain window for in-flight requests at shutdown before "
+             "they are cancelled (default 10)",
     )
     serve.set_defaults(func=_cmd_serve)
 
@@ -488,13 +527,26 @@ def _cmd_extend(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from repro.service import ProfilerService, make_server
+    from repro.serve import (
+        DEFAULT_MAX_INFLIGHT,
+        DEFAULT_QUEUE_DEPTH,
+        ProfilerService,
+        make_server,
+    )
 
+    auth_token = args.auth_token or os.environ.get("REPRO_SERVE_TOKEN") or None
     service = ProfilerService(
         backend=args.backend, num_workers=args.workers,
         worker_timeout=args.worker_timeout,
         max_memo_entries=args.max_memo_entries,
         max_cached_partitions=args.max_cached_partitions,
+        queue_depth=(args.queue_depth if args.queue_depth is not None
+                     else DEFAULT_QUEUE_DEPTH),
+        max_inflight=(args.max_inflight if args.max_inflight is not None
+                      else DEFAULT_MAX_INFLIGHT),
+        default_deadline_seconds=args.default_deadline,
+        auth_token=auth_token,
+        dataset_ttl_seconds=args.dataset_ttl,
     )
     if args.demo:
         service.add_dataset("demo", employee_salary_table())
@@ -508,25 +560,58 @@ def _cmd_serve(args) -> int:
             name = f"{stem}-{n}"
             n += 1
         service.add_dataset(name, read_csv(path, max_rows=args.max_rows))
-    if not service.dataset_names:
-        print("error: provide at least one CSV file or --demo", file=sys.stderr)
+    if not service.dataset_names and auth_token is None:
+        # With lifecycle auth configured, starting empty is fine: datasets
+        # arrive over PUT /datasets/<name>.  Without it, an empty server
+        # is almost certainly a typo'd invocation.
+        print("error: provide at least one CSV file or --demo "
+              "(or --auth-token to start empty and upload over HTTP)",
+              file=sys.stderr)
+        service.close()
         return 2
 
-    server = make_server(service, host=args.host, port=args.port, quiet=False)
+    server = make_server(service, host=args.host, port=args.port, quiet=False,
+                         request_timeout=args.request_timeout)
     host, port = server.server_address[:2]
     print(f"repro serve: {len(service.dataset_names)} dataset(s) "
           f"{service.dataset_names} on http://{host}:{port}")
-    print("endpoints: GET /healthz | GET /datasets | POST /discover "
-          '{"dataset": ..., "request": {...}, "stream": false} | '
+    print("endpoints: GET /healthz | GET /metrics | GET /datasets | "
+          'POST /discover {"dataset": ..., "request": {...}, '
+          '"stream": false, "deadline_seconds": ...} | '
           "POST /datasets/<name>/append "
-          '{"rows": [...], "request": {...}}')
+          '{"rows": [...], "request": {...}} | '
+          "PUT /datasets/<name> (csv or json upload) | "
+          "DELETE /datasets/<name>")
+
+    # serve_forever() must not run on the thread that later calls
+    # shutdown(): BaseServer.shutdown() blocks until the serve loop
+    # acknowledges, and a signal handler interrupting serve_forever's own
+    # thread would deadlock.  So the accept loop lives on a worker thread
+    # and the main thread sleeps on an Event that SIGINT/SIGTERM set.
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):  # noqa: ARG001 - signal signature
+        stop.set()
+
+    previous_handlers = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        previous_handlers[signum] = signal.signal(signum, _request_stop)
+
+    loop = threading.Thread(
+        target=server.serve_forever, name="repro-serve-accept", daemon=True
+    )
+    loop.start()
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
+        stop.wait()
     finally:
-        server.server_close()
-        service.close()
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+        print("repro serve: draining "
+              f"(grace {args.grace_period:.0f}s) ...")
+        drained = server.shutdown_gracefully(grace_seconds=args.grace_period)
+        loop.join(timeout=5.0)
+        print("repro serve: shut down "
+              + ("cleanly" if drained else "after cancelling in-flight work"))
     return 0
 
 

@@ -1,0 +1,308 @@
+"""Stdlib HTTP client for the serve layer.
+
+A thin, dependency-free counterpart to :mod:`repro.serve`: it speaks the
+service's JSON/NDJSON protocol, carries the optional bearer token, and —
+the part worth centralising — retries on backpressure.  ``429`` and
+``503`` responses are retried with exponential backoff, honouring the
+server's ``Retry-After`` header when present (the serve layer computes it
+from the per-dataset EWMA of run durations, so it is an honest estimate,
+not a constant).
+
+Example
+-------
+>>> client = ServeClient("http://127.0.0.1:8337", token="s3cret")
+>>> client.upload_csv("flight", "a,b\\n1,2\\n")
+>>> result = client.discover("flight", {"max_lhs_size": 2})
+>>> client.delete_dataset("flight")
+
+Transport errors (connection refused/reset) surface as
+:class:`ServeUnavailable` after retries are exhausted; HTTP error payloads
+surface as :class:`ServeHTTPError` with the decoded JSON body attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "ServeClient",
+    "ServeClientError",
+    "ServeHTTPError",
+    "ServeUnavailable",
+    "DEFAULT_MAX_RETRIES",
+    "DEFAULT_BACKOFF_SECONDS",
+    "DEFAULT_BACKOFF_CAP_SECONDS",
+]
+
+#: Retry budget for retryable failures (429/503/transport errors).
+DEFAULT_MAX_RETRIES = 4
+#: First backoff sleep; doubles per attempt when no ``Retry-After`` is given.
+DEFAULT_BACKOFF_SECONDS = 0.1
+#: Upper bound on any single backoff sleep.
+DEFAULT_BACKOFF_CAP_SECONDS = 5.0
+
+_RETRYABLE_STATUSES = (429, 503)
+
+
+class ServeClientError(Exception):
+    """Base class for client-side failures."""
+
+
+class ServeHTTPError(ServeClientError):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, payload: Optional[Dict[str, Any]], url: str):
+        self.status = status
+        self.payload = payload or {}
+        self.url = url
+        message = self.payload.get("error") or f"HTTP {status}"
+        super().__init__(f"{message} ({status} from {url})")
+
+
+class ServeUnavailable(ServeClientError):
+    """The server could not be reached (or stayed overloaded) after retries."""
+
+
+class ServeClient:
+    """Small synchronous client with retry/backoff for the serve layer.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of a ``repro serve`` process.
+    token:
+        Optional bearer token, sent as ``Authorization: Bearer <token>``
+        (required by the server for lifecycle endpoints when it was
+        started with ``--auth-token``).
+    timeout:
+        Per-request socket timeout in seconds.
+    max_retries / backoff_seconds / backoff_cap_seconds:
+        Retry policy for 429/503 and transport errors.  ``Retry-After``
+        from the server takes precedence over the computed backoff.
+    sleep:
+        Injection point for tests; defaults to :func:`time.sleep`.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        token: Optional[str] = None,
+        timeout: float = 60.0,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+        backoff_cap_seconds: float = DEFAULT_BACKOFF_CAP_SECONDS,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.token = token
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self.backoff_cap_seconds = backoff_cap_seconds
+        self._sleep = sleep
+        #: Count of retry sleeps performed (useful in tests/benchmarks).
+        self.retries_performed = 0
+
+    # ------------------------------------------------------------------ core
+
+    def _headers(self, content_type: Optional[str] = None) -> Dict[str, str]:
+        headers: Dict[str, str] = {"Accept": "application/json"}
+        if content_type:
+            headers["Content-Type"] = content_type
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
+
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> float:
+        if retry_after is not None and retry_after > 0:
+            return min(retry_after, self.backoff_cap_seconds)
+        return min(
+            self.backoff_seconds * (2 ** attempt), self.backoff_cap_seconds
+        )
+
+    @staticmethod
+    def _retry_after_seconds(headers: Any) -> Optional[float]:
+        value = headers.get("Retry-After") if headers is not None else None
+        if value is None:
+            return None
+        try:
+            return max(0.0, float(value))
+        except (TypeError, ValueError):
+            return None
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[bytes] = None,
+        content_type: Optional[str] = None,
+        stream: bool = False,
+    ) -> Any:
+        """Issue one logical request with retry/backoff.
+
+        Returns the decoded JSON payload, or the open ``http.client``
+        response object when ``stream=True`` (caller must close it).
+        """
+        url = f"{self.base_url}{path}"
+        last_error: Optional[Exception] = None
+        for attempt in range(self.max_retries + 1):
+            request = urllib.request.Request(
+                url,
+                data=body,
+                method=method,
+                headers=self._headers(content_type),
+            )
+            try:
+                response = urllib.request.urlopen(request, timeout=self.timeout)
+            except urllib.error.HTTPError as error:
+                raw = error.read()
+                try:
+                    payload = json.loads(raw.decode("utf-8")) if raw else None
+                except ValueError:
+                    payload = None
+                if error.code in _RETRYABLE_STATUSES and attempt < self.max_retries:
+                    delay = self._backoff(
+                        attempt, self._retry_after_seconds(error.headers)
+                    )
+                    self.retries_performed += 1
+                    self._sleep(delay)
+                    last_error = ServeHTTPError(error.code, payload, url)
+                    continue
+                raise ServeHTTPError(error.code, payload, url) from None
+            except (urllib.error.URLError, ConnectionError, OSError) as error:
+                if attempt < self.max_retries:
+                    delay = self._backoff(attempt, None)
+                    self.retries_performed += 1
+                    self._sleep(delay)
+                    last_error = error
+                    continue
+                raise ServeUnavailable(f"{url}: {error}") from error
+            if stream:
+                return response
+            with response:
+                raw = response.read()
+            return json.loads(raw.decode("utf-8")) if raw else None
+        raise ServeUnavailable(f"{url}: retries exhausted ({last_error})")
+
+    # ------------------------------------------------------------- endpoints
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        response = self._request("GET", "/metrics", stream=True)
+        with response:
+            return response.read().decode("utf-8")
+
+    def datasets(self) -> Dict[str, Any]:
+        return self._request("GET", "/datasets")
+
+    def discover(
+        self,
+        dataset: Optional[str],
+        request: Optional[Dict[str, Any]] = None,
+        *,
+        deadline_seconds: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"request": dict(request or {})}
+        if dataset is not None:
+            payload["dataset"] = dataset
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        return self._request(
+            "POST",
+            "/discover",
+            body=json.dumps(payload).encode("utf-8"),
+            content_type="application/json",
+        )
+
+    def discover_stream(
+        self,
+        dataset: Optional[str],
+        request: Optional[Dict[str, Any]] = None,
+        *,
+        deadline_seconds: Optional[float] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield NDJSON discovery events; the final event is
+        ``run_completed`` carrying the full result."""
+        payload: Dict[str, Any] = {"request": dict(request or {}), "stream": True}
+        if dataset is not None:
+            payload["dataset"] = dataset
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        response = self._request(
+            "POST",
+            "/discover",
+            body=json.dumps(payload).encode("utf-8"),
+            content_type="application/json",
+            stream=True,
+        )
+        try:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            response.close()
+
+    def append(
+        self,
+        dataset: str,
+        rows: Sequence[Sequence[Any]],
+        request: Optional[Dict[str, Any]] = None,
+        *,
+        deadline_seconds: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"rows": [list(row) for row in rows]}
+        if request is not None:
+            payload["request"] = dict(request)
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        return self._request(
+            "POST",
+            f"/datasets/{dataset}/append",
+            body=json.dumps(payload).encode("utf-8"),
+            content_type="application/json",
+        )
+
+    def upload_csv(
+        self, dataset: str, csv_text: str, *, pinned: bool = False
+    ) -> Dict[str, Any]:
+        path = f"/datasets/{dataset}"
+        if pinned:
+            path += "?pinned=1"
+        return self._request(
+            "PUT",
+            path,
+            body=csv_text.encode("utf-8"),
+            content_type="text/csv",
+        )
+
+    def upload_rows(
+        self,
+        dataset: str,
+        attributes: Sequence[str],
+        rows: Sequence[Sequence[Any]],
+        *,
+        pinned: bool = False,
+    ) -> Dict[str, Any]:
+        payload = {
+            "attributes": list(attributes),
+            "rows": [list(row) for row in rows],
+            "pinned": pinned,
+        }
+        return self._request(
+            "PUT",
+            f"/datasets/{dataset}",
+            body=json.dumps(payload).encode("utf-8"),
+            content_type="application/json",
+        )
+
+    def delete_dataset(self, dataset: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/datasets/{dataset}")

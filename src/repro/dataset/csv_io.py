@@ -73,6 +73,36 @@ def read_csv(
     return relation
 
 
+def read_csv_text(
+    text: str,
+    delimiter: str = ",",
+    max_rows: Optional[int] = None,
+) -> Relation:
+    """Parse in-memory CSV text (header row first) into a :class:`Relation`.
+
+    Same cell parsing and padding rules as :func:`read_csv`; used by the
+    serve layer's dataset-upload endpoint, where the CSV arrives as a
+    request body rather than a file on disk.
+    """
+    import io
+
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("CSV body is empty; expected a header row") from None
+    header = [h.strip() for h in header]
+    if not any(header):
+        raise ValueError("CSV header row is empty")
+    rows: List[List[object]] = []
+    for raw in reader:
+        if max_rows is not None and len(rows) >= max_rows:
+            break
+        padded = list(raw) + [""] * (len(header) - len(raw))
+        rows.append([_parse_cell(cell) for cell in padded[: len(header)]])
+    return Relation.from_rows(rows, header)
+
+
 def write_csv(relation: Relation, path: Union[str, Path], delimiter: str = ",") -> None:
     """Write ``relation`` to ``path`` as CSV with a header row."""
     path = Path(path)

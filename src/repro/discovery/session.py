@@ -50,6 +50,7 @@ serving sessions bound their memory with ``max_memo_entries`` /
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
@@ -90,20 +91,59 @@ class CancellationToken:
     node / context-group boundary.  The interrupted run returns a
     well-formed partial :class:`~repro.discovery.results.DiscoveryResult`
     with ``result.cancelled`` set.
+
+    A token may also carry a **deadline** (``deadline_seconds``, measured
+    from construction): once the wall clock passes it, :meth:`cancelled`
+    fires on its own.  This is how the serve layer threads per-request
+    deadlines into the engine — the deadline covers queue wait *and* run
+    time, and the engine needs no new interrupt machinery.  :attr:`reason`
+    records why the token fired (``"deadline"``, or whatever string
+    :meth:`cancel` was given, ``"cancelled"`` by default) so callers can
+    map explicit cancellation, deadline expiry, and client disconnects to
+    different responses.
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_deadline", "_cancel_lock", "reason")
 
-    def __init__(self) -> None:
+    def __init__(self, deadline_seconds: Optional[float] = None) -> None:
         self._event = threading.Event()
+        self._cancel_lock = threading.Lock()
+        self._deadline = (
+            None if deadline_seconds is None
+            else time.monotonic() + deadline_seconds
+        )
+        #: Why the token fired; ``None`` until it has.
+        self.reason: Optional[str] = None
 
-    def cancel(self) -> None:
-        """Request cancellation (idempotent)."""
-        self._event.set()
+    def cancel(self, reason: str = "cancelled") -> bool:
+        """Request cancellation (idempotent; first reason wins).
+
+        Returns ``True`` for the call that actually fired the token, so
+        racing cancellers (watchdog thread vs. failed socket write, say)
+        can attribute the cancellation exactly once.
+        """
+        with self._cancel_lock:
+            first = not self._event.is_set()
+            if first:
+                self.reason = reason
+            self._event.set()
+        return first
 
     def cancelled(self) -> bool:
-        """Whether cancellation has been requested."""
-        return self._event.is_set()
+        """Whether cancellation has been requested (or the deadline hit)."""
+        if self._event.is_set():
+            return True
+        if self._deadline is not None and time.monotonic() >= self._deadline:
+            self.cancel("deadline")
+            return True
+        return False
+
+    @property
+    def deadline_remaining(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` without one; floored at 0)."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
 
 
 class Profiler:

@@ -315,6 +315,32 @@ STANDARD_METRICS: Tuple[Tuple[str, str, str], ...] = (
      "Datasets currently hosted by this serve process"),
     ("gauge", "repro_result_cache_entries",
      "Entries across all serve-layer result caches"),
+    ("counter", "repro_serve_admitted_total",
+     "Requests admitted past the serve-layer admission controller"),
+    ("counter", "repro_serve_rejected_429_total",
+     "Requests rejected 429: per-dataset admission queue full"),
+    ("counter", "repro_serve_rejected_503_total",
+     "Requests rejected 503: server saturated or draining"),
+    ("counter", "repro_serve_deadline_timeouts_total",
+     "Requests abandoned because their deadline expired"),
+    ("counter", "repro_serve_disconnect_cancellations_total",
+     "Discovery runs cancelled after the client disconnected"),
+    ("counter", "repro_serve_requests_total",
+     "HTTP requests handled by the serve layer"),
+    ("counter", "repro_serve_dataset_uploads_total",
+     "Datasets uploaded over HTTP (PUT /datasets/<name>)"),
+    ("counter", "repro_serve_dataset_evictions_total",
+     "Datasets evicted over HTTP (DELETE /datasets/<name>)"),
+    ("counter", "repro_serve_ttl_evictions_total",
+     "Datasets evicted by the TTL idle sweep"),
+    ("histogram", "repro_serve_queue_wait_seconds",
+     "Admission-queue wait per admitted request"),
+    ("histogram", "repro_serve_request_seconds",
+     "End-to-end serve-layer request duration (admission to response)"),
+    ("gauge", "repro_serve_inflight",
+     "Requests currently admitted (executing or queued)"),
+    ("gauge", "repro_serve_draining",
+     "1 while the serve process is draining for shutdown"),
 )
 
 

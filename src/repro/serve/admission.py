@@ -1,0 +1,372 @@
+"""Admission control for the serve layer: bounded queues, not blocking locks.
+
+Before this module the service serialised runs per dataset with a plain
+``threading.Lock``: every concurrent request parked a handler thread on the
+lock with no bound, no ordering guarantee beyond the OS scheduler, no way
+to refuse work, and no visibility.  Under overload the server accumulated
+blocked threads until something (the client, the socket timeout, memory)
+gave out.
+
+:class:`AdmissionController` replaces that with explicit queueing:
+
+* **per-dataset serialisation** stays — a session's warm caches are not
+  thread-safe, so at most one admitted request *executes* per dataset at a
+  time — but waiting is now FIFO (ticket numbers, not lock-acquisition
+  races) and **bounded**: at most ``queue_depth`` requests may wait per
+  dataset.  The overflowing request is rejected immediately with
+  :class:`QueueFull`, which the HTTP layer maps to ``429 Too Many
+  Requests`` plus a ``Retry-After`` computed from the dataset's observed
+  run-time EWMA times its queue position — an honest estimate, not a
+  constant.
+* a **global in-flight cap** (``max_inflight``) bounds the total admitted
+  (executing + queued) requests across all datasets; past it the server is
+  saturated as a whole and answers :class:`ServerSaturated` (``503``).
+* **deadlines are enforced while queued**: a request whose cancellation
+  token fires (deadline or client disconnect) leaves the queue with
+  :class:`AdmissionCancelled` instead of occupying a slot for a run nobody
+  will read.
+* **draining**: :meth:`begin_drain` atomically refuses new admissions and
+  wakes every queued waiter with :class:`Draining` (``503``), which is the
+  first step of graceful shutdown; executing requests finish (or are
+  cancelled by the shutdown path via :meth:`cancel_active`).
+
+Every decision is counted (admissions, both rejection kinds, timeouts,
+cancellations) and queue waits feed a histogram, so ``/metrics`` and
+``/healthz`` show the queue doing its job before clients notice anything.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.obs import get_metrics
+
+#: Default bound on requests *waiting* per dataset (the executing one is
+#: not counted).  Small on purpose: queueing deeper than a handful of runs
+#: only manufactures latency — clients are better served by an honest 429.
+DEFAULT_QUEUE_DEPTH = 8
+
+#: Default bound on total admitted (executing + waiting) requests across
+#: all datasets; past it the whole server is saturated and answers 503.
+DEFAULT_MAX_INFLIGHT = 32
+
+#: Granularity of the queue-wait poll, seconds.  Waiters re-check their
+#: cancellation token at this interval; condition notifications wake them
+#: immediately, so this only bounds deadline-detection latency.
+QUEUE_POLL_SECONDS = 0.05
+
+#: Fallback per-run estimate (seconds) before a dataset has completed any
+#: run — the Retry-After a client sees on the very first overflow.
+DEFAULT_RUN_ESTIMATE_SECONDS = 1.0
+
+#: EWMA weight of the newest observed run duration.
+RUN_ESTIMATE_ALPHA = 0.3
+
+
+class AdmissionError(Exception):
+    """Base class: a request refused or abandoned by admission control."""
+
+    #: Suggested client wait before retrying, in whole seconds (``None``
+    #: when retrying is pointless, e.g. cancellation).
+    retry_after: Optional[int] = None
+
+
+class QueueFull(AdmissionError):
+    """The dataset's wait queue is at capacity (HTTP 429)."""
+
+    def __init__(self, dataset: str, depth: int, retry_after: int) -> None:
+        super().__init__(
+            f"dataset {dataset!r} admission queue is full "
+            f"({depth} waiting); retry after ~{retry_after}s"
+        )
+        self.retry_after = retry_after
+
+
+class ServerSaturated(AdmissionError):
+    """The global in-flight cap is reached (HTTP 503)."""
+
+    def __init__(self, max_inflight: int, retry_after: int) -> None:
+        super().__init__(
+            f"server saturated ({max_inflight} requests in flight); "
+            f"retry after ~{retry_after}s"
+        )
+        self.retry_after = retry_after
+
+
+class Draining(AdmissionError):
+    """The server is shutting down and admits no new work (HTTP 503)."""
+
+    def __init__(self) -> None:
+        super().__init__("server is draining for shutdown")
+        self.retry_after = 1
+
+
+class AdmissionCancelled(AdmissionError):
+    """The request's own cancellation token fired while it queued."""
+
+    def __init__(self, dataset: str) -> None:
+        super().__init__(
+            f"request cancelled while queued for dataset {dataset!r}"
+        )
+
+
+class _DatasetQueue:
+    """FIFO admission state for one dataset (guarded by the controller)."""
+
+    __slots__ = ("busy", "waiters", "ewma_seconds", "next_ticket")
+
+    def __init__(self) -> None:
+        self.busy = False
+        self.waiters: List[int] = []  # ticket numbers, FIFO
+        self.ewma_seconds: Optional[float] = None
+        self.next_ticket = 0
+
+
+class AdmissionTicket:
+    """An admitted request's slot; release exactly once (``with`` works)."""
+
+    __slots__ = ("_controller", "dataset", "cancellation", "queue_wait",
+                 "_released", "started_at")
+
+    def __init__(self, controller: "AdmissionController", dataset: str,
+                 cancellation, queue_wait: float) -> None:
+        self._controller = controller
+        self.dataset = dataset
+        self.cancellation = cancellation
+        self.queue_wait = queue_wait
+        self.started_at = time.monotonic()
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._controller._release(self)
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Bounded per-dataset admission queues plus a global in-flight cap."""
+
+    def __init__(
+        self,
+        *,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    ) -> None:
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.queue_depth = queue_depth
+        self.max_inflight = max_inflight
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queues: Dict[str, _DatasetQueue] = {}
+        self._inflight = 0
+        self._draining = False
+        #: Tickets currently executing, for shutdown-time cancellation.
+        self._active: List[AdmissionTicket] = []
+        # Decision counters (mirrored into the metrics registry).
+        self._admitted = 0
+        self._rejected_queue_full = 0
+        self._rejected_saturated = 0
+        self._cancelled_waits = 0
+
+    # -- admission ---------------------------------------------------------------
+
+    def acquire(self, dataset: str, cancellation=None) -> AdmissionTicket:
+        """Admit a request for ``dataset`` or raise an
+        :class:`AdmissionError` subclass.
+
+        Blocks (FIFO) until the dataset is free; while blocked the
+        ``cancellation`` token is polled so deadlines and client
+        disconnects abandon the queue slot promptly.
+        """
+        entered = time.monotonic()
+        with self._cond:
+            if self._draining:
+                raise Draining()
+            if self._inflight >= self.max_inflight:
+                self._rejected_saturated += 1
+                get_metrics().counter(
+                    "repro_serve_rejected_503_total"
+                ).inc()
+                raise ServerSaturated(
+                    self.max_inflight, self._global_retry_after()
+                )
+            queue = self._queues.setdefault(dataset, _DatasetQueue())
+            # Depth bounds *waiting* requests only: one that can start
+            # immediately (idle dataset, empty queue) is always admitted,
+            # so queue_depth=0 means "no queueing", not "no service".
+            would_wait = queue.busy or bool(queue.waiters)
+            if would_wait and len(queue.waiters) >= self.queue_depth:
+                self._rejected_queue_full += 1
+                get_metrics().counter(
+                    "repro_serve_rejected_429_total"
+                ).inc()
+                raise QueueFull(
+                    dataset, len(queue.waiters),
+                    self._dataset_retry_after(queue, len(queue.waiters) + 1),
+                )
+            ticket_number = queue.next_ticket
+            queue.next_ticket += 1
+            queue.waiters.append(ticket_number)
+            self._inflight += 1
+            try:
+                while True:
+                    if self._draining:
+                        raise Draining()
+                    if cancellation is not None and cancellation.cancelled():
+                        self._cancelled_waits += 1
+                        raise AdmissionCancelled(dataset)
+                    if not queue.busy and queue.waiters[0] == ticket_number:
+                        queue.waiters.pop(0)
+                        queue.busy = True
+                        break
+                    self._cond.wait(QUEUE_POLL_SECONDS)
+            except BaseException:
+                queue.waiters.remove(ticket_number)
+                self._inflight -= 1
+                self._cond.notify_all()
+                raise
+            wait = time.monotonic() - entered
+            self._admitted += 1
+            registry = get_metrics()
+            registry.counter("repro_serve_admitted_total").inc()
+            registry.histogram("repro_serve_queue_wait_seconds").observe(wait)
+            ticket = AdmissionTicket(self, dataset, cancellation, wait)
+            self._active.append(ticket)
+            return ticket
+
+    def _release(self, ticket: AdmissionTicket) -> None:
+        duration = time.monotonic() - ticket.started_at
+        with self._cond:
+            queue = self._queues.get(ticket.dataset)
+            if queue is not None:
+                queue.busy = False
+                previous = queue.ewma_seconds
+                queue.ewma_seconds = (
+                    duration if previous is None
+                    else previous + RUN_ESTIMATE_ALPHA * (duration - previous)
+                )
+            self._inflight -= 1
+            try:
+                self._active.remove(ticket)
+            except ValueError:
+                pass
+            self._cond.notify_all()
+
+    # -- retry estimates ---------------------------------------------------------
+
+    def _dataset_retry_after(self, queue: _DatasetQueue, position: int) -> int:
+        """Whole seconds until a request ``position`` runs deep could start."""
+        estimate = queue.ewma_seconds or DEFAULT_RUN_ESTIMATE_SECONDS
+        return max(1, int(math.ceil(estimate * position)))
+
+    def _global_retry_after(self) -> int:
+        estimates = [
+            queue.ewma_seconds for queue in self._queues.values()
+            if queue.ewma_seconds is not None
+        ]
+        estimate = min(estimates) if estimates else DEFAULT_RUN_ESTIMATE_SECONDS
+        return max(1, int(math.ceil(estimate)))
+
+    def retry_after_hint(self, dataset: Optional[str] = None) -> int:
+        """Public estimate used by HTTP 503 responses outside admission."""
+        with self._lock:
+            if dataset is not None and dataset in self._queues:
+                queue = self._queues[dataset]
+                return self._dataset_retry_after(
+                    queue, len(queue.waiters) + 1
+                )
+            return self._global_retry_after()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def forget_dataset(self, dataset: str) -> None:
+        """Drop the (idle) queue state of an evicted dataset."""
+        with self._cond:
+            queue = self._queues.get(dataset)
+            if queue is not None and not queue.busy and not queue.waiters:
+                del self._queues[dataset]
+
+    def begin_drain(self) -> None:
+        """Refuse new admissions and wake every queued waiter with 503."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def cancel_active(self, reason: str = "shutdown") -> int:
+        """Fire the cancellation token of every executing request."""
+        with self._lock:
+            active = list(self._active)
+        cancelled = 0
+        for ticket in active:
+            if ticket.cancellation is not None:
+                ticket.cancellation.cancel(reason)
+                cancelled += 1
+        return cancelled
+
+    def cancel_dataset(self, dataset: str, reason: str = "evicted") -> int:
+        """Fire the cancellation token of the dataset's executing request."""
+        with self._lock:
+            active = [t for t in self._active if t.dataset == dataset]
+        cancelled = 0
+        for ticket in active:
+            if ticket.cancellation is not None:
+                ticket.cancellation.cancel(reason)
+                cancelled += 1
+        return cancelled
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until nothing is in flight; ``True`` when fully drained."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(min(remaining, QUEUE_POLL_SECONDS))
+            return True
+
+    # -- introspection -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``admission`` block of ``/healthz``."""
+        with self._lock:
+            per_dataset = {
+                name: {
+                    "busy": queue.busy,
+                    "queued": len(queue.waiters),
+                    "ewma_run_seconds": (
+                        round(queue.ewma_seconds, 4)
+                        if queue.ewma_seconds is not None else None
+                    ),
+                }
+                for name, queue in sorted(self._queues.items())
+            }
+            return {
+                "queue_depth": self.queue_depth,
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight,
+                "executing": len(self._active),
+                "draining": self._draining,
+                "admitted": self._admitted,
+                "rejected_queue_full": self._rejected_queue_full,
+                "rejected_saturated": self._rejected_saturated,
+                "cancelled_waits": self._cancelled_waits,
+                "datasets": per_dataset,
+            }

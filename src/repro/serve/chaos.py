@@ -1,0 +1,172 @@
+"""Test-only HTTP fault injection for the serve layer.
+
+The HTTP handler calls :meth:`HttpFaultInjector.take` at well-known hook
+points; when a registered fault matches, the returned action tells the
+handler to misbehave in a controlled way:
+
+- ``"stall"`` — sleep ``delay_seconds`` before continuing (slow server).
+- ``"drop"``  — close the connection without writing anything further
+  (half-finished response / mid-stream kill).
+- ``"reset"`` — close with ``SO_LINGER(1, 0)`` so the client sees a TCP
+  RST instead of a clean FIN.
+
+Hook points currently emitted by the handler:
+
+- ``"pre_response"`` — after the request was parsed and admitted, before
+  any response bytes are written.
+- ``"stream_event"`` — before each NDJSON event of a streamed discovery
+  response; the event index is passed as ``event_index``.
+
+The injector is **never** installed in production: it exists so the chaos
+test-suite can exercise client retries, disconnect-cancellation, and
+graceful degradation against a real server without monkeypatching
+internals.  All methods are thread-safe (the server is threading).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["FaultAction", "FaultRule", "HttpFaultInjector"]
+
+_VALID_KINDS = ("stall", "drop", "reset")
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What the handler should do at a hook point."""
+
+    kind: str
+    delay_seconds: float = 0.0
+
+
+@dataclass
+class FaultRule:
+    """A single registered fault.
+
+    Parameters
+    ----------
+    point:
+        Hook point the rule arms (``"pre_response"`` or ``"stream_event"``).
+    kind:
+        One of ``"stall"``, ``"drop"``, ``"reset"``.
+    path_prefix:
+        Only requests whose path starts with this prefix trigger the rule
+        (``""`` matches everything).
+    after_events:
+        For ``"stream_event"``: fire only once ``event_index`` reaches this
+        value, so a stream can be killed mid-way rather than at the start.
+    times:
+        Budget of firings; once exhausted the rule is inert.  ``None`` means
+        unlimited.
+    delay_seconds:
+        Stall duration for ``"stall"`` actions.
+    """
+
+    point: str
+    kind: str
+    path_prefix: str = ""
+    after_events: int = 0
+    times: Optional[int] = 1
+    delay_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {_VALID_KINDS}"
+            )
+
+    def matches(self, point: str, path: str, event_index: Optional[int]) -> bool:
+        if point != self.point:
+            return False
+        if self.path_prefix and not path.startswith(self.path_prefix):
+            return False
+        if self.point == "stream_event":
+            if event_index is None or event_index < self.after_events:
+                return False
+        return True
+
+
+@dataclass
+class _FiredFault:
+    point: str
+    path: str
+    kind: str
+    event_index: Optional[int] = None
+
+
+class HttpFaultInjector:
+    """Registry of :class:`FaultRule` objects consulted by the handler."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rules: List[FaultRule] = []
+        self._fired: List[_FiredFault] = []
+
+    def add(self, rule: FaultRule) -> FaultRule:
+        with self._lock:
+            self._rules.append(rule)
+        return rule
+
+    def add_fault(
+        self,
+        point: str,
+        kind: str,
+        *,
+        path_prefix: str = "",
+        after_events: int = 0,
+        times: Optional[int] = 1,
+        delay_seconds: float = 0.0,
+    ) -> FaultRule:
+        """Convenience wrapper building and registering a :class:`FaultRule`."""
+        return self.add(
+            FaultRule(
+                point=point,
+                kind=kind,
+                path_prefix=path_prefix,
+                after_events=after_events,
+                times=times,
+                delay_seconds=delay_seconds,
+            )
+        )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._rules.clear()
+
+    def take(
+        self, point: str, path: str, *, event_index: Optional[int] = None
+    ) -> Optional[FaultAction]:
+        """Return the action for the first matching armed rule, consuming
+        one unit of its ``times`` budget; ``None`` when nothing matches."""
+        with self._lock:
+            for rule in self._rules:
+                if rule.times is not None and rule.times <= 0:
+                    continue
+                if not rule.matches(point, path, event_index):
+                    continue
+                if rule.times is not None:
+                    rule.times -= 1
+                self._fired.append(
+                    _FiredFault(
+                        point=point, path=path, kind=rule.kind, event_index=event_index
+                    )
+                )
+                return FaultAction(kind=rule.kind, delay_seconds=rule.delay_seconds)
+        return None
+
+    @property
+    def fired(self) -> List[_FiredFault]:
+        """Copy of the faults that actually fired (for test assertions)."""
+        with self._lock:
+            return list(self._fired)
+
+    def fired_counts(self) -> Dict[str, int]:
+        """``{kind: count}`` summary of fired faults."""
+        counts: Dict[str, int] = {}
+        with self._lock:
+            for item in self._fired:
+                counts[item.kind] = counts.get(item.kind, 0) + 1
+        return counts

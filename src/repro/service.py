@@ -1,593 +1,51 @@
-"""``repro serve`` — a stdlib-HTTP profiling service.
+"""Compatibility shim for the serve layer.
 
-The first real serving surface over the session API: the service keeps one
-long-lived :class:`~repro.discovery.session.Profiler` per loaded dataset,
-so every request after the first runs against warm state (encoded
-relation, partition cache, validation memo, worker pool).
-
-Endpoints (JSON in, JSON out; no dependencies beyond the stdlib):
-
-``GET /healthz``
-    ``{"status": "ok", "datasets": <count>, "result_cache": {hits, misses,
-    entries}, "resilience": {worker_deaths, respawns, requeued_shards,
-    inline_fallbacks, quarantined_shards, worker_timeouts, degraded},
-    "planner": {calibrated, datasets}, "metrics": {...}}``.
-    The resilience block aggregates the shared worker pool's recovery
-    counters (all zero, ``degraded: false``, when the server runs without
-    worker processes).  The planner block carries one execution-planner
-    snapshot per dataset — cost-model parameters, calibration age and the
-    recent per-level decisions — or ``null`` for datasets that have never
-    served a ``plan="auto"`` run (see :mod:`repro.planner`).  The metrics
-    block is the plain-dict view of the process-wide metrics registry
-    (histograms collapse to ``{count, sum}``; see :mod:`repro.obs`).
-
-``GET /metrics``
-    Prometheus text exposition (version 0.0.4) of the same registry:
-    engine run/level counters, pool resilience counters, dispatch
-    round-trip and queue-wait histograms, planner prediction error, and
-    serve-layer cache traffic, plus scrape-time gauges (datasets hosted,
-    cache entries, pool degradation).
-
-``GET /datasets``
-    The loaded datasets with row/attribute counts and warm-cache info.
-
-``POST /discover``
-    Body: ``{"dataset": <name>, "request": {<DiscoveryRequest fields>}}``.
-    ``dataset`` may be omitted when exactly one dataset is loaded.  Returns
-    the full :meth:`DiscoveryResult.to_dict` payload.  With
-    ``"stream": true`` the response is ``application/x-ndjson``: one line
-    per discovery event (``level_started`` / ``dependency_found`` /
-    ``level_completed``) and a final ``run_completed`` line carrying the
-    complete result — level results leave the server as soon as each
-    lattice level finishes, which is what lets a client overlap its own
-    processing with the remaining search.
-
-``POST /datasets/<name>/append``
-    Body: ``{"rows": [<row>, ...], "request": {<DiscoveryRequest fields>}?}``.
-    Appends rows to the named dataset's warm session (delta encoding,
-    partition patching, memo purge — see :mod:`repro.incremental`) and
-    invalidates its result cache.  With ``"request"`` the warm session is
-    revalidated immediately: the response additionally carries the
-    incremental ``result``, the ``revoked_ocs`` / ``revoked_ofds`` that
-    fell out, and the repair ``plan``; the fresh result re-seeds the cache.
-
-Completed (non-streamed *and* streamed) discovery results are cached per
-dataset under the canonical request JSON and served without re-running the
-engine until an append invalidates them; ``/healthz`` exposes the hit/miss
-counters.
-
-Concurrency: the HTTP server is threading, but runs against one dataset
-are serialised with a per-dataset lock (the session's warm caches are not
-thread-safe); different datasets profile concurrently.
+The serving code now lives in the :mod:`repro.serve` package — admission
+control and backpressure in :mod:`repro.serve.admission`, the service core
+(dataset registry, result caches, lifecycle, deadlines, graceful shutdown)
+in :mod:`repro.serve.service`, the HTTP handler and server in
+:mod:`repro.serve.http`, and test-only fault injection in
+:mod:`repro.serve.chaos`.  This module re-exports the public surface so
+existing imports (``from repro.service import ProfilerService, make_server``)
+keep working unchanged.
 """
 
-from __future__ import annotations
+from repro.serve import (  # noqa: F401
+    DEFAULT_MAX_BODY_BYTES,
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_MAX_UPLOAD_BYTES,
+    DEFAULT_QUEUE_DEPTH,
+    DEFAULT_REQUEST_SOCKET_TIMEOUT_SECONDS,
+    DEFAULT_SHUTDOWN_GRACE_SECONDS,
+    AdmissionCancelled,
+    AdmissionController,
+    AdmissionError,
+    Draining,
+    HttpFaultInjector,
+    ProfilerService,
+    QueueFull,
+    ResilientHTTPServer,
+    ServerSaturated,
+    ServiceError,
+    make_server,
+)
 
-import json
-import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Iterator, List, Optional
-
-from repro.caching import BoundedLRU
-from repro.dataset.relation import Relation
-from repro.discovery.config import DiscoveryRequest
-from repro.discovery.events import DiscoveryEvent, RunCompleted
-from repro.discovery.results import DiscoveryResult
-from repro.discovery.session import Profiler
-from repro.obs import enable_metrics, get_metrics
-
-
-class ServiceError(Exception):
-    """A client-facing error with an HTTP status code."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-
-
-class ProfilerService:
-    """A registry of named datasets, each backed by one warm session."""
-
-    def __init__(
-        self,
-        *,
-        backend=None,
-        num_workers: int = 1,
-        worker_timeout: Optional[float] = None,
-        max_memo_entries: Optional[int] = None,
-        max_cached_partitions: Optional[int] = None,
-    ) -> None:
-        self._backend = backend
-        self._num_workers = num_workers
-        self._worker_timeout = worker_timeout
-        # Per-session memory bounds, forwarded to every dataset's Profiler
-        # (LRU eviction; evicted state is recomputed, results never change).
-        self._max_memo_entries = max_memo_entries
-        self._max_cached_partitions = max_cached_partitions
-        self._profilers: Dict[str, Profiler] = {}
-        self._locks: Dict[str, threading.Lock] = {}
-        self._pool = None
-        # Result cache: dataset name -> canonical request JSON -> result.
-        # Guarded by the per-dataset lock; invalidated by appends and
-        # LRU-bounded per dataset so ad-hoc request streams cannot grow a
-        # long-lived server without limit (an evicted result is recomputed).
-        self._results: Dict[str, BoundedLRU] = {}
-        self._cache_hits = 0
-        self._cache_misses = 0
-        # Serving is the surface observability exists for: install the
-        # process-wide metrics registry (idempotent) so engine, pool, and
-        # planner instrumentation lands in /metrics and /healthz.
-        enable_metrics()
-
-    #: Per-dataset cap on cached results (each is a full DiscoveryResult).
-    max_cached_results = 128
-
-    # -- dataset registry --------------------------------------------------------
-
-    def add_dataset(self, name: str, relation: Relation) -> Profiler:
-        """Register ``relation`` under ``name`` and build its session."""
-        if name in self._profilers:
-            raise ValueError(f"dataset {name!r} already loaded")
-        # One worker pool serves every dataset (its kernels are
-        # dataset-agnostic), spawned now while the process is still
-        # single-threaded: forking it lazily from a ThreadingHTTPServer
-        # handler thread could inherit locks held by concurrent threads.
-        if self._num_workers > 1 and self._pool is None:
-            from repro.validation.distributed import ShardedValidationPool
-            from repro.backend import resolve_backend
-
-            self._pool = ShardedValidationPool(
-                self._num_workers, backend=resolve_backend(self._backend),
-                worker_timeout=self._worker_timeout,
-            )
-        profiler = Profiler(
-            relation, backend=self._backend, num_workers=self._num_workers,
-            shard_pool=self._pool,
-            max_memo_entries=self._max_memo_entries,
-            max_cached_partitions=self._max_cached_partitions,
-        )
-        self._profilers[name] = profiler
-        self._locks[name] = threading.Lock()
-        self._results[name] = BoundedLRU(self.max_cached_results)
-        return profiler
-
-    @property
-    def dataset_names(self) -> List[str]:
-        return sorted(self._profilers)
-
-    def describe(self) -> List[Dict[str, object]]:
-        """Dataset summaries for ``GET /datasets``."""
-        described = []
-        for name in self.dataset_names:
-            profiler = self._profilers[name]
-            described.append({
-                "name": name,
-                "num_rows": profiler.relation.num_rows,
-                "attributes": profiler.relation.attribute_names,
-                "backend": profiler.backend.name,
-                "cache": profiler.cache_info(),
-            })
-        return described
-
-    # -- discovery ---------------------------------------------------------------
-
-    def _resolve(self, name: Optional[str]) -> str:
-        if name is None:
-            if len(self._profilers) == 1:
-                return next(iter(self._profilers))
-            raise ServiceError(
-                400,
-                "request must name a dataset "
-                f"(loaded: {self.dataset_names})",
-            )
-        if name not in self._profilers:
-            raise ServiceError(
-                404, f"unknown dataset {name!r} (loaded: {self.dataset_names})"
-            )
-        return name
-
-    def _check_request(self, request: DiscoveryRequest) -> None:
-        # Worker processes are a deployment concern (--workers on `repro
-        # serve`), not something a client may resize per request: honoring
-        # it would let any caller respawn — or arbitrarily grow — the
-        # server's warm process pool.  Two values are safe and accepted:
-        # the server's own setting (reuses the existing pool) and 1 (runs
-        # in-process, never touches the pool).  Served results only ever
-        # embed one of these in their request, so replaying a response's
-        # request always works.
-        if (request.num_workers is not None
-                and request.num_workers not in (1, self._num_workers)):
-            raise ServiceError(
-                400,
-                "num_workers is a server-side setting "
-                f"(this server runs {self._num_workers}; set it with "
-                "repro serve --workers); remove it from the request",
-            )
-
-    def discover(
-        self, dataset: Optional[str], request: DiscoveryRequest
-    ) -> DiscoveryResult:
-        """Run one discovery against the named dataset's warm session.
-
-        Completed results are cached under the canonical request JSON and
-        replayed until an append to the dataset invalidates them."""
-        name = self._resolve(dataset)
-        self._check_request(request)
-        key = request.to_json()
-        with self._locks[name]:
-            cached = self._results[name].get(key)
-            if cached is not None:
-                self._cache_hits += 1
-                get_metrics().counter("repro_result_cache_hits_total").inc()
-                return cached
-            self._cache_misses += 1
-            get_metrics().counter("repro_result_cache_misses_total").inc()
-            result = self._profilers[name].discover(request)
-            self._store_result(name, key, result)
-            return result
-
-    def _store_result(self, name: str, key: str, result: DiscoveryResult) -> None:
-        # Interrupted runs are partial (and timing-dependent): never cache.
-        if not result.cancelled and not result.timed_out:
-            self._results[name][key] = result
-
-    def iter_events(
-        self, dataset: Optional[str], request: DiscoveryRequest
-    ) -> Iterator[DiscoveryEvent]:
-        """Stream one discovery; the per-dataset lock is held until the
-        stream is exhausted (or closed).  Dataset resolution is eager so a
-        bad name fails before any event (and before HTTP headers go out).
-        The final result populates the result cache like a non-streamed
-        run (a stream never *serves* from the cache: its point is watching
-        the levels finish live)."""
-        name = self._resolve(dataset)
-        self._check_request(request)
-        key = request.to_json()
-
-        def _generate() -> Iterator[DiscoveryEvent]:
-            with self._locks[name]:
-                for event in self._profilers[name].iter_events(request):
-                    if isinstance(event, RunCompleted):
-                        self._store_result(name, key, event.result)
-                    yield event
-
-        return _generate()
-
-    def append(
-        self,
-        dataset: Optional[str],
-        rows: List[object],
-        request: Optional[DiscoveryRequest] = None,
-    ):
-        """Append rows to a dataset's warm session; optionally revalidate.
-
-        Returns ``(name, delta_summary, outcome)`` where ``outcome`` is the
-        :class:`~repro.incremental.IncrementalOutcome` of the revalidation
-        when ``request`` was given, else ``None``.  The dataset's result
-        cache is always invalidated; a revalidated result re-seeds it.
-        """
-        name = self._resolve(dataset)
-        if request is not None:
-            self._check_request(request)
-        with self._locks[name]:
-            profiler = self._profilers[name]
-            summary = profiler.extend(rows)
-            self._results[name].clear()
-            outcome = None
-            if request is not None:
-                outcome = profiler.discover_incremental(request)
-                self._store_result(name, request.to_json(), outcome.result)
-            return name, summary, outcome
-
-    def result_cache_stats(self) -> Dict[str, int]:
-        """Hit/miss counters and current size of the result cache."""
-        return {
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "entries": sum(len(cache) for cache in self._results.values()),
-        }
-
-    def resilience_stats(self) -> Dict[str, object]:
-        """The shared pool's recovery counters for ``/healthz``.
-
-        Servers running without worker processes (``--workers 1``) report
-        all-zero counters and ``degraded: false`` — the schema is stable so
-        monitoring never has to special-case the serial deployment.
-        """
-        if self._pool is not None and not self._pool.closed:
-            return self._pool.resilience_stats()
-        from repro.validation.distributed import RESILIENCE_COUNTERS
-
-        snapshot: Dict[str, object] = {key: 0 for key in RESILIENCE_COUNTERS}
-        snapshot["degraded"] = False
-        return snapshot
-
-    def planner_stats(self) -> Dict[str, object]:
-        """Per-dataset execution-planner snapshots for ``/healthz``.
-
-        Stable schema: datasets that have never served a ``plan="auto"``
-        run report ``null`` (no planner has been calibrated for them), so
-        monitoring can always read the block.
-        """
-        per_dataset: Dict[str, object] = {
-            name: profiler.planner_info()
-            for name, profiler in self._profilers.items()
-        }
-        return {
-            "calibrated": sum(
-                1 for info in per_dataset.values() if info is not None
-            ),
-            "datasets": per_dataset,
-        }
-
-    def _refresh_gauges(self) -> None:
-        """Set the scrape-time gauges from current service state."""
-        registry = get_metrics()
-        if not registry.enabled:
-            return
-        resilience = self.resilience_stats()
-        registry.gauge("repro_pool_degraded").set(
-            1 if resilience.get("degraded") else 0
-        )
-        registry.gauge("repro_datasets").set(len(self._profilers))
-        registry.gauge("repro_result_cache_entries").set(
-            sum(len(cache) for cache in self._results.values())
-        )
-
-    def metrics_text(self) -> str:
-        """The Prometheus text-exposition body for ``GET /metrics``."""
-        self._refresh_gauges()
-        return get_metrics().render_prometheus()
-
-    def metrics_snapshot(self) -> Dict[str, object]:
-        """Plain-dict metrics for the ``metrics`` section of ``/healthz``
-        (histograms collapse to ``{count, sum}``)."""
-        self._refresh_gauges()
-        return get_metrics().snapshot()
-
-    def close(self) -> None:
-        """Close every session and the shared worker pool."""
-        for profiler in self._profilers.values():
-            profiler.close()
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
-
-
-class _Handler(BaseHTTPRequestHandler):
-    """Routes HTTP requests onto the :class:`ProfilerService`."""
-
-    # HTTP/1.0 keeps the streaming path simple: no chunked framing needed,
-    # the connection close terminates the NDJSON stream.
-    protocol_version = "HTTP/1.0"
-    server_version = "repro-serve"
-    # Socket-level timeout (reads AND writes).  Without it, a streaming
-    # client that stops reading blocks flush() forever while the handler
-    # holds the dataset lock, wedging all discovery on that dataset.  The
-    # timeout raises an OSError, which the disconnect guards treat as a
-    # routine client loss.  It does not bound computation: no socket I/O
-    # happens while a discovery level is running.
-    timeout = 300
-
-    # Populated by make_server().
-    service: ProfilerService = None  # type: ignore[assignment]
-    quiet = True
-
-    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        if not self.quiet:
-            super().log_message(format, *args)
-
-    # -- helpers -----------------------------------------------------------------
-
-    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
-
-    def _send_metrics(self) -> None:
-        body = self.service.metrics_text().encode("utf-8")
-        self.send_response(200)
-        self.send_header(
-            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
-        )
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
-    #: Upper bound on request bodies: requests are small JSON documents,
-    #: so anything past this is a client error, not a payload to buffer.
-    max_body_bytes = 1 << 20
-
-    def _read_body(self) -> Dict[str, object]:
-        try:
-            length = int(self.headers.get("Content-Length") or 0)
-        except ValueError:
-            raise ServiceError(400, "invalid Content-Length header")
-        if length < 0:
-            raise ServiceError(400, "invalid Content-Length header")
-        if length > self.max_body_bytes:
-            raise ServiceError(
-                400,
-                f"request body too large ({length} bytes; "
-                f"limit {self.max_body_bytes})",
-            )
-        raw = self.rfile.read(length) if length else b""
-        if not raw:
-            return {}
-        try:
-            body = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise ServiceError(400, f"invalid JSON body: {error}")
-        if not isinstance(body, dict):
-            raise ServiceError(400, "JSON body must be an object")
-        return body
-
-    # -- routes ------------------------------------------------------------------
-
-    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        try:
-            if self.path in ("/", "/healthz"):
-                self._send_json(200, {
-                    "status": "ok",
-                    "datasets": len(self.service.dataset_names),
-                    "result_cache": self.service.result_cache_stats(),
-                    "resilience": self.service.resilience_stats(),
-                    "planner": self.service.planner_stats(),
-                    "metrics": self.service.metrics_snapshot(),
-                })
-            elif self.path == "/metrics":
-                self._send_metrics()
-            elif self.path == "/datasets":
-                self._send_json(200, {"datasets": self.service.describe()})
-            else:
-                self._send_error_json(404, f"unknown path {self.path!r}")
-        except OSError:
-            pass  # client went away mid-response: routine disconnect
-
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        try:
-            self._handle_post()
-        except OSError:
-            pass  # client went away mid-response: routine disconnect
-
-    def _handle_post(self) -> None:
-        append_dataset = self._append_path_dataset()
-        if self.path != "/discover" and append_dataset is None:
-            self._send_error_json(404, f"unknown path {self.path!r}")
-            return
-        try:
-            body = self._read_body()
-            if append_dataset is not None:
-                self._handle_append(append_dataset, body)
-                return
-            dataset = body.get("dataset")
-            request = self._parse_request(body.get("request") or {})
-            stream = body.get("stream", False)
-            if not isinstance(stream, bool):
-                raise ServiceError(
-                    400, f"stream must be a JSON boolean, got {stream!r}"
-                )
-            if stream:
-                self._stream_discovery(dataset, request)
-            else:
-                result = self.service.discover(dataset, request)
-                self._send_json(200, result.to_dict())
-        except ServiceError as error:
-            self._send_error_json(error.status, str(error))
-        except (KeyError, ValueError) as error:
-            # e.g. attributes not in the relation (engine KeyError): a bad
-            # request, not a server fault — answer with JSON, don't let the
-            # handler thread die and drop the connection.
-            self._send_error_json(400, str(error))
-        except RuntimeError as error:
-            # Lifecycle faults (closed session/pool) are server-side: a
-            # 5xx tells the client to retry, not to fix its request.
-            self._send_error_json(500, str(error))
-
-    def _append_path_dataset(self) -> Optional[str]:
-        """Dataset name from a ``/datasets/<name>/append`` path, else None."""
-        parts = self.path.split("/")
-        if len(parts) == 4 and parts[0] == "" and parts[1] == "datasets" \
-                and parts[2] and parts[3] == "append":
-            from urllib.parse import unquote
-
-            return unquote(parts[2])
-        return None
-
-    @staticmethod
-    def _parse_request(data: object) -> DiscoveryRequest:
-        if not isinstance(data, dict):
-            raise ServiceError(
-                400, f"request must be a JSON object, got {data!r}"
-            )
-        try:
-            return DiscoveryRequest.from_dict(data)
-        except (TypeError, ValueError) as error:
-            raise ServiceError(400, f"invalid discovery request: {error}")
-
-    def _handle_append(self, dataset: str, body: Dict[str, object]) -> None:
-        rows = body.get("rows")
-        if not isinstance(rows, list):
-            raise ServiceError(
-                400, "append body must carry a JSON array under 'rows'"
-            )
-        request = None
-        if body.get("request") is not None:
-            request = self._parse_request(body["request"])
-        name, summary, outcome = self.service.append(dataset, rows, request)
-        payload: Dict[str, object] = {
-            "dataset": name,
-            "delta": summary.to_dict(),
-        }
-        if outcome is not None:
-            payload.update(outcome.to_dict())
-        self._send_json(200, payload)
-
-    def _stream_discovery(
-        self, dataset: Optional[str], request: DiscoveryRequest
-    ) -> None:
-        # Bad dataset / bad request fail here, before any headers go out.
-        events = self.service.iter_events(dataset, request)
-        try:
-            first = next(events)
-        except (KeyError, ValueError) as error:
-            events.close()
-            raise ServiceError(400, str(error))
-        except RuntimeError as error:
-            events.close()
-            raise ServiceError(500, str(error))
-        except StopIteration:
-            first = None
-        self.send_response(200)
-        self.send_header("Content-Type", "application/x-ndjson")
-        self.end_headers()
-        try:
-            if first is not None:
-                self._write_event(first)
-            for event in events:
-                self._write_event(event)
-        except OSError:
-            # The client went away mid-stream (reset, broken pipe, timeout):
-            # a routine disconnect, not a server fault — stop quietly.
-            pass
-        except (KeyError, ValueError, RuntimeError) as error:
-            # Headers are gone; close the stream with an error line instead
-            # of silently dropping the connection.
-            try:
-                self.wfile.write(
-                    json.dumps({"event": "error", "error": str(error)},
-                               sort_keys=True).encode("utf-8") + b"\n"
-                )
-            except OSError:
-                pass
-        finally:
-            events.close()
-
-    def _write_event(self, event) -> None:
-        self.wfile.write(
-            json.dumps(event.to_dict(), sort_keys=True).encode("utf-8") + b"\n"
-        )
-        self.wfile.flush()
-
-
-def make_server(
-    service: ProfilerService,
-    host: str = "127.0.0.1",
-    port: int = 8080,
-    quiet: bool = True,
-) -> ThreadingHTTPServer:
-    """Build the HTTP server (``port=0`` picks a free port; the bound port
-    is ``server.server_address[1]``).  Call ``serve_forever()`` to run."""
-
-    class BoundHandler(_Handler):
-        pass
-
-    BoundHandler.service = service
-    BoundHandler.quiet = quiet
-    return ThreadingHTTPServer((host, port), BoundHandler)
+__all__ = [
+    "AdmissionCancelled",
+    "AdmissionController",
+    "AdmissionError",
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_MAX_INFLIGHT",
+    "DEFAULT_MAX_UPLOAD_BYTES",
+    "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_REQUEST_SOCKET_TIMEOUT_SECONDS",
+    "DEFAULT_SHUTDOWN_GRACE_SECONDS",
+    "Draining",
+    "HttpFaultInjector",
+    "ProfilerService",
+    "QueueFull",
+    "ResilientHTTPServer",
+    "ServerSaturated",
+    "ServiceError",
+    "make_server",
+]

@@ -1,0 +1,103 @@
+"""Shared helpers for the serve-layer test suites.
+
+The helpers favour determinism over brevity: servers bind port 0, every
+HTTP helper returns ``(status, headers, payload)`` without raising on
+error statuses (the error paths *are* the subject under test), and
+``wait_until`` polls with a bounded deadline instead of sleeping fixed
+amounts.
+"""
+
+import contextlib
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.serve import make_server
+
+
+@contextlib.contextmanager
+def running_server(service, **make_server_kwargs):
+    """Start ``service`` on a free port; yields ``(url, server)``."""
+    server = make_server(service, host="127.0.0.1", port=0,
+                         **make_server_kwargs)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{port}", server
+    finally:
+        with contextlib.suppress(Exception):
+            server.shutdown()
+            server.server_close()
+        service.close()
+        thread.join(timeout=5)
+
+
+def http_request(method, url, body=None, headers=None, timeout=30):
+    """One HTTP exchange; never raises on HTTP error statuses.
+
+    Returns ``(status, headers, payload)`` where ``payload`` is decoded
+    JSON when possible, else raw bytes.
+    """
+    data = None
+    if body is not None:
+        data = body if isinstance(body, bytes) else json.dumps(body).encode()
+    request = urllib.request.Request(
+        url, data=data, method=method, headers=dict(headers or {})
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            raw = response.read()
+            status, response_headers = response.status, dict(response.headers)
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        status, response_headers = error.code, dict(error.headers)
+    try:
+        payload = json.loads(raw.decode("utf-8")) if raw else None
+    except (ValueError, UnicodeDecodeError):
+        payload = raw
+    return status, response_headers, payload
+
+
+def http_get(url, headers=None, timeout=30):
+    return http_request("GET", url, headers=headers, timeout=timeout)
+
+
+def http_post(url, body, headers=None, timeout=60):
+    all_headers = {"Content-Type": "application/json"}
+    all_headers.update(headers or {})
+    return http_request("POST", url, body=body, headers=all_headers,
+                        timeout=timeout)
+
+
+def wait_until(predicate, timeout=5.0, interval=0.02):
+    """Poll ``predicate`` until truthy; returns its value (falsy on timeout)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    return predicate()
+
+
+def canonical_result(result_dict):
+    """A result's dependency content, stripped of timing-dependent stats.
+
+    Used for byte-identity assertions between served and serial-reference
+    runs: the discovered dependencies (and their order) must match exactly;
+    wall-clock statistics legitimately differ run to run.
+    """
+    content = {
+        key: value for key, value in result_dict.items() if key != "stats"
+    }
+    if isinstance(content.get("request"), dict):
+        # The echoed request records the deployment's worker count; results
+        # must match across worker counts, so normalise it out.
+        content["request"] = {
+            key: value for key, value in content["request"].items()
+            if key != "num_workers"
+        }
+    return json.dumps(content, sort_keys=True)

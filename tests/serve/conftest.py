@@ -1,0 +1,18 @@
+"""Fixtures for the serve-layer test suites (helpers in _serve_helpers)."""
+
+import pytest
+
+from repro.dataset.generators import generate_random_table
+
+
+@pytest.fixture(scope="session")
+def slow_relation():
+    """A table whose discovery takes long enough (~0.5s) to observe
+    queueing, deadlines, and cancellation mid-run."""
+    return generate_random_table(3000, 8, cardinality=8, seed=1)
+
+
+@pytest.fixture(scope="session")
+def quick_relation():
+    """A table whose discovery is quick (tens of ms) but still multi-level."""
+    return generate_random_table(400, 6, cardinality=8, seed=1)

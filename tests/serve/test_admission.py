@@ -1,0 +1,223 @@
+"""Unit tests for the admission controller (no HTTP, no engine)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.discovery.session import CancellationToken
+from repro.serve.admission import (
+    AdmissionCancelled,
+    AdmissionController,
+    Draining,
+    QueueFull,
+    ServerSaturated,
+)
+
+from _serve_helpers import wait_until
+
+
+class TestBasicAdmission:
+    def test_idle_dataset_admits_immediately(self):
+        controller = AdmissionController()
+        with controller.acquire("d") as ticket:
+            assert ticket.dataset == "d"
+            assert controller.snapshot()["inflight"] == 1
+        assert controller.snapshot()["inflight"] == 0
+
+    def test_release_is_idempotent(self):
+        controller = AdmissionController()
+        ticket = controller.acquire("d")
+        ticket.release()
+        ticket.release()
+        assert controller.snapshot()["inflight"] == 0
+
+    def test_one_executes_per_dataset(self):
+        controller = AdmissionController()
+        first = controller.acquire("d")
+        started = threading.Event()
+        granted = threading.Event()
+
+        def waiter():
+            started.set()
+            with controller.acquire("d"):
+                granted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        started.wait(2)
+        time.sleep(0.1)
+        assert not granted.is_set()  # still held by `first`
+        first.release()
+        assert granted.wait(2)
+        thread.join(timeout=2)
+
+    def test_queue_is_fifo(self):
+        controller = AdmissionController(queue_depth=8)
+        gate = controller.acquire("d")
+        order = []
+        threads = []
+        arrived = []
+
+        def waiter(index):
+            arrived.append(index)
+            with controller.acquire("d"):
+                order.append(index)
+
+        for index in range(4):
+            thread = threading.Thread(target=waiter, args=(index,), daemon=True)
+            thread.start()
+            threads.append(thread)
+            # Serialise arrival so FIFO order is well-defined.
+            wait_until(lambda: controller.snapshot()["inflight"] == 2 + index)
+        gate.release()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert order == arrived == [0, 1, 2, 3]
+
+
+class TestRejection:
+    def test_queue_full_rejects_with_retry_after(self):
+        controller = AdmissionController(queue_depth=1)
+        gate = controller.acquire("d")
+        blocker = threading.Thread(
+            target=lambda: controller.acquire("d").release(), daemon=True
+        )
+        blocker.start()
+        wait_until(lambda: controller.snapshot()["inflight"] == 2)
+        with pytest.raises(QueueFull) as info:
+            controller.acquire("d")
+        assert info.value.retry_after >= 1
+        snapshot = controller.snapshot()
+        assert snapshot["rejected_queue_full"] == 1
+        gate.release()
+        blocker.join(timeout=5)
+
+    def test_queue_depth_zero_means_no_queueing(self):
+        controller = AdmissionController(queue_depth=0)
+        # An idle dataset still admits...
+        gate = controller.acquire("d")
+        # ...but nothing may wait behind it.
+        with pytest.raises(QueueFull):
+            controller.acquire("d")
+        gate.release()
+        with controller.acquire("d"):
+            pass
+
+    def test_saturation_rejects_everything(self):
+        controller = AdmissionController(max_inflight=2)
+        first = controller.acquire("a")
+        second = controller.acquire("b")
+        with pytest.raises(ServerSaturated) as info:
+            controller.acquire("c")
+        assert info.value.retry_after >= 1
+        assert controller.snapshot()["rejected_saturated"] == 1
+        first.release()
+        second.release()
+
+    def test_retry_after_reflects_observed_run_times(self):
+        controller = AdmissionController(queue_depth=1)
+        ticket = controller.acquire("d")
+        time.sleep(0.05)
+        ticket.release()
+        snapshot = controller.snapshot()
+        assert snapshot["datasets"]["d"]["ewma_run_seconds"] >= 0.04
+        assert controller.retry_after_hint("d") >= 1
+
+
+class TestCancellation:
+    def test_deadline_while_queued(self):
+        controller = AdmissionController()
+        gate = controller.acquire("d")
+        token = CancellationToken(deadline_seconds=0.1)
+        started = time.monotonic()
+        with pytest.raises(AdmissionCancelled):
+            controller.acquire("d", token)
+        assert time.monotonic() - started < 2.0
+        assert token.reason == "deadline"
+        assert controller.snapshot()["cancelled_waits"] == 1
+        gate.release()
+
+    def test_cancelled_waiter_does_not_leak_inflight(self):
+        controller = AdmissionController()
+        gate = controller.acquire("d")
+        token = CancellationToken()
+        token.cancel("disconnect")
+        with pytest.raises(AdmissionCancelled):
+            controller.acquire("d", token)
+        gate.release()
+        assert controller.snapshot()["inflight"] == 0
+
+    def test_cancel_active_fires_tokens(self):
+        controller = AdmissionController()
+        token = CancellationToken()
+        ticket = controller.acquire("d", token)
+        assert controller.cancel_active("shutdown") == 1
+        assert token.cancelled() and token.reason == "shutdown"
+        ticket.release()
+
+    def test_cancel_dataset_only_touches_that_dataset(self):
+        controller = AdmissionController()
+        token_a = CancellationToken()
+        token_b = CancellationToken()
+        ticket_a = controller.acquire("a", token_a)
+        ticket_b = controller.acquire("b", token_b)
+        assert controller.cancel_dataset("a", "evicted") == 1
+        assert token_a.cancelled() and token_a.reason == "evicted"
+        assert not token_b.cancelled()
+        ticket_a.release()
+        ticket_b.release()
+
+
+class TestDrain:
+    def test_draining_refuses_new_work(self):
+        controller = AdmissionController()
+        controller.begin_drain()
+        with pytest.raises(Draining):
+            controller.acquire("d")
+
+    def test_draining_wakes_queued_waiters(self):
+        controller = AdmissionController()
+        gate = controller.acquire("d")
+        failures = []
+
+        def waiter():
+            try:
+                controller.acquire("d")
+            except Draining as error:
+                failures.append(error)
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        wait_until(lambda: controller.snapshot()["inflight"] == 2)
+        controller.begin_drain()
+        thread.join(timeout=5)
+        assert len(failures) == 1
+        gate.release()
+        assert controller.wait_idle(2.0)
+
+    def test_wait_idle_times_out_with_work_in_flight(self):
+        controller = AdmissionController()
+        ticket = controller.acquire("d")
+        assert controller.wait_idle(0.1) is False
+        ticket.release()
+        assert controller.wait_idle(1.0) is True
+
+
+class TestTokenDeadlines:
+    def test_token_without_deadline_never_fires(self):
+        token = CancellationToken()
+        assert not token.cancelled()
+        assert token.deadline_remaining is None
+
+    def test_deadline_fires_and_tags_reason(self):
+        token = CancellationToken(deadline_seconds=0.02)
+        assert not token.cancelled() or token.reason == "deadline"
+        assert wait_until(token.cancelled, timeout=2.0)
+        assert token.reason == "deadline"
+
+    def test_first_cancel_reason_wins(self):
+        token = CancellationToken()
+        token.cancel("disconnect")
+        token.cancel("shutdown")
+        assert token.reason == "disconnect"

@@ -1,0 +1,185 @@
+"""The stdlib ServeClient: retry/backoff, Retry-After, full roundtrip."""
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.client import (
+    ServeClient,
+    ServeHTTPError,
+    ServeUnavailable,
+)
+from repro.dataset.examples import employee_salary_table
+from repro.serve import ProfilerService
+
+from _serve_helpers import running_server
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Answers from a shared script: a list of (status, headers, body)."""
+
+    script = None  # type: list
+    seen = None    # type: list
+
+    def _serve(self):
+        self.seen.append((self.command, self.path,
+                          self.headers.get("Authorization")))
+        if self.script:
+            status, headers, body = self.script.pop(0)
+        else:
+            status, headers, body = 200, {}, b"{}"
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = do_POST = do_PUT = do_DELETE = _serve
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+
+def _scripted_server(script):
+    class Handler(_ScriptedHandler):
+        pass
+
+    Handler.script = list(script)
+    Handler.seen = []
+    server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, Handler, f"http://127.0.0.1:{server.server_address[1]}"
+
+
+class TestRetryPolicy:
+    def test_429_retries_until_success_honouring_retry_after(self):
+        body = json.dumps({"ok": True}).encode()
+        server, handler, url = _scripted_server([
+            (429, {"Retry-After": "2"}, b'{"error": "queue full"}'),
+            (503, {"Retry-After": "1"}, b'{"error": "saturated"}'),
+            (200, {}, body),
+        ])
+        try:
+            sleeps = []
+            client = ServeClient(url, sleep=sleeps.append)
+            assert client.healthz() == {"ok": True}
+            assert client.retries_performed == 2
+            # Retry-After took precedence over the exponential schedule.
+            assert sleeps == [2.0, 1.0]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_retry_after_is_capped(self):
+        server, _, url = _scripted_server([
+            (503, {"Retry-After": "3600"}, b'{"error": "busy"}'),
+            (200, {}, b"{}"),
+        ])
+        try:
+            sleeps = []
+            client = ServeClient(url, sleep=sleeps.append,
+                                 backoff_cap_seconds=0.5)
+            client.healthz()
+            assert sleeps == [0.5]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_exponential_backoff_without_retry_after(self):
+        server, _, url = _scripted_server([
+            (503, {}, b'{"error": "busy"}'),
+            (503, {}, b'{"error": "busy"}'),
+            (200, {}, b"{}"),
+        ])
+        try:
+            sleeps = []
+            client = ServeClient(url, sleep=sleeps.append,
+                                 backoff_seconds=0.1)
+            client.healthz()
+            assert sleeps == [0.1, 0.2]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_retries_exhausted_raises_last_error(self):
+        server, _, url = _scripted_server(
+            [(429, {"Retry-After": "1"}, b'{"error": "queue full"}')] * 3
+        )
+        try:
+            client = ServeClient(url, max_retries=2, sleep=lambda _: None)
+            with pytest.raises(ServeHTTPError) as info:
+                client.healthz()
+            assert info.value.status == 429
+            assert client.retries_performed == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_non_retryable_errors_fail_fast(self):
+        server, handler, url = _scripted_server([
+            (404, {}, b'{"error": "unknown dataset"}'),
+        ])
+        try:
+            client = ServeClient(url, sleep=lambda _: None)
+            with pytest.raises(ServeHTTPError) as info:
+                client.datasets()
+            assert info.value.status == 404
+            assert info.value.payload["error"] == "unknown dataset"
+            assert client.retries_performed == 0
+            assert len(handler.seen) == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_unreachable_server_raises_unavailable(self):
+        client = ServeClient("http://127.0.0.1:1", max_retries=1,
+                             sleep=lambda _: None)
+        with pytest.raises(ServeUnavailable):
+            client.healthz()
+        assert client.retries_performed == 1
+
+    def test_token_is_sent_as_bearer(self):
+        server, handler, url = _scripted_server([(200, {}, b"{}")])
+        try:
+            ServeClient(url, token="tok").healthz()
+            assert handler.seen[0][2] == "Bearer tok"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestAgainstRealServer:
+    def test_full_lifecycle_roundtrip(self):
+        service = ProfilerService(auth_token="rt-token")
+        service.add_dataset("demo", employee_salary_table())
+        with running_server(service) as (url, _):
+            client = ServeClient(url, token="rt-token")
+            health = client.healthz()
+            assert health["status"] == "ok"
+
+            upload = client.upload_rows(
+                "fresh", ["a", "b"], [[1, 2], [2, 4], [3, 6]]
+            )
+            assert upload["dataset"] == "fresh"
+
+            result = client.discover(
+                "fresh", {"threshold": 0.1}, deadline_seconds=30
+            )
+            assert result["num_rows"] == 3
+
+            events = list(client.discover_stream("demo", {"threshold": 0.15}))
+            assert events[-1]["event"] == "run_completed"
+
+            appended = client.append("fresh", [[4, 8]])
+            assert appended["delta"]["num_appended"] == 1
+
+            assert client.delete_dataset("fresh")["evicted"] is True
+            names = {d["name"] for d in client.datasets()["datasets"]}
+            assert names == {"demo"}
+
+            assert "repro_serve_admitted_total" in client.metrics_text()

@@ -1,0 +1,93 @@
+"""Per-request deadlines: 504 mid-run, 504 while queued, validation."""
+
+import pytest
+
+from repro.discovery.config import DiscoveryRequest
+from repro.serve import ProfilerService, ServiceError
+
+from _serve_helpers import http_get, http_post, running_server
+
+
+class TestServiceDeadlines:
+    def test_deadline_mid_run_maps_to_504(self, slow_relation):
+        service = ProfilerService()
+        try:
+            service.add_dataset("slow", slow_relation)
+            token = service.make_token(0.05)
+            with pytest.raises(ServiceError) as info:
+                service.discover(
+                    "slow", DiscoveryRequest(threshold=0.1),
+                    cancellation=token,
+                )
+            assert info.value.status == 504
+            assert token.reason == "deadline"
+            assert service.lifecycle_stats()["deadline_timeouts"] == 1
+        finally:
+            service.close()
+
+    def test_cancelled_results_are_never_cached(self, slow_relation):
+        service = ProfilerService()
+        try:
+            service.add_dataset("slow", slow_relation)
+            with pytest.raises(ServiceError):
+                service.discover(
+                    "slow", DiscoveryRequest(threshold=0.1),
+                    cancellation=service.make_token(0.05),
+                )
+            assert service.result_cache_stats()["entries"] == 0
+        finally:
+            service.close()
+
+    def test_server_default_deadline_applies(self, slow_relation):
+        service = ProfilerService(default_deadline_seconds=0.05)
+        try:
+            service.add_dataset("slow", slow_relation)
+            token = service.make_token(None)
+            with pytest.raises(ServiceError) as info:
+                service.discover(
+                    "slow", DiscoveryRequest(threshold=0.1),
+                    cancellation=token,
+                )
+            assert info.value.status == 504
+        finally:
+            service.close()
+
+    def test_generous_deadline_does_not_interfere(self, quick_relation):
+        service = ProfilerService()
+        try:
+            service.add_dataset("data", quick_relation)
+            result = service.discover(
+                "data", DiscoveryRequest(threshold=0.1),
+                cancellation=service.make_token(60.0),
+            )
+            assert not result.cancelled
+            assert service.result_cache_stats()["entries"] == 1
+        finally:
+            service.close()
+
+
+class TestHTTPDeadlines:
+    def test_deadline_seconds_in_body_times_out(self, slow_relation):
+        service = ProfilerService()
+        service.add_dataset("slow", slow_relation)
+        with running_server(service) as (url, _):
+            status, _, payload = http_post(url + "/discover", {
+                "dataset": "slow", "request": {"threshold": 0.1},
+                "deadline_seconds": 0.05,
+            })
+            assert status == 504
+            assert "deadline" in payload["error"]
+            _, _, health = http_get(url + "/healthz")
+            assert health["lifecycle"]["deadline_timeouts"] >= 1
+
+    def test_deadline_validation(self, quick_relation):
+        service = ProfilerService()
+        service.add_dataset("data", quick_relation)
+        with running_server(service) as (url, _):
+            for bad in (0, -1, "soon", True):
+                status, _, payload = http_post(url + "/discover", {
+                    "dataset": "data", "request": {},
+                    "deadline_seconds": bad,
+                })
+                assert status == 400, bad
+                assert "deadline_seconds" in payload["error"]

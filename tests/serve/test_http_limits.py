@@ -1,0 +1,131 @@
+"""Body-size limits (413) and the socket request timeout (satellites 1-2)."""
+
+import json
+import socket
+
+import pytest
+
+from repro.dataset.examples import employee_salary_table
+from repro.serve import (
+    DEFAULT_MAX_BODY_BYTES,
+    DEFAULT_REQUEST_SOCKET_TIMEOUT_SECONDS,
+    ProfilerService,
+    make_server,
+)
+from repro.serve.http import _Handler
+
+from _serve_helpers import http_get, http_post, running_server
+
+
+@pytest.fixture()
+def service():
+    service = ProfilerService()
+    service.add_dataset("demo", employee_salary_table())
+    return service
+
+
+def _padded_body(size):
+    """A valid /discover body padded to exactly ``size`` bytes."""
+    base = {"dataset": "demo", "request": {"threshold": 0.15}, "pad": ""}
+    overhead = len(json.dumps(base).encode())
+    base["pad"] = "x" * (size - overhead)
+    body = json.dumps(base).encode()
+    assert len(body) == size
+    return body
+
+
+class TestBodyLimit:
+    def test_at_limit_is_served(self, service):
+        with running_server(service) as (url, server):
+            server.RequestHandlerClass.max_body_bytes = 4096
+            status, _, _ = http_post(
+                url + "/discover", _padded_body(4096), timeout=60
+            )
+            assert status == 200
+
+    def test_over_limit_is_413_with_limit_echoed(self, service):
+        with running_server(service) as (url, server):
+            server.RequestHandlerClass.max_body_bytes = 4096
+            status, _, payload = http_post(
+                url + "/discover", _padded_body(4097)
+            )
+            assert status == 413
+            assert payload["limit_bytes"] == 4096
+            assert "4097" in payload["error"]
+
+    def test_upload_limit_is_separate(self, service):
+        # A dataset upload larger than the request-body limit still lands:
+        # uploads are bounded by max_upload_bytes, not max_body_bytes.
+        with running_server(service) as (url, server):
+            server.RequestHandlerClass.max_body_bytes = 1024
+            rows = "\n".join(f"{i},{i * 2}" for i in range(400))
+            body = ("a,b\n" + rows + "\n").encode()
+            assert len(body) > 1024
+            import urllib.request
+            request = urllib.request.Request(
+                url + "/datasets/big", data=body, method="PUT",
+                headers={"Content-Type": "text/csv"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                assert response.status == 201
+
+    def test_upload_over_its_limit_is_413(self, service):
+        with running_server(service) as (url, server):
+            server.RequestHandlerClass.max_upload_bytes = 512
+            from _serve_helpers import http_request
+            status, _, payload = http_request(
+                "PUT", url + "/datasets/big",
+                body=b"a,b\n" + b"1,2\n" * 200,
+                headers={"Content-Type": "text/csv"},
+            )
+            assert status == 413
+            assert payload["limit_bytes"] == 512
+
+    def test_default_limit_value(self):
+        assert DEFAULT_MAX_BODY_BYTES == 1 << 20
+        assert _Handler.max_body_bytes == DEFAULT_MAX_BODY_BYTES
+
+
+class TestRequestTimeout:
+    def test_default_is_the_named_constant(self):
+        assert DEFAULT_REQUEST_SOCKET_TIMEOUT_SECONDS == 300.0
+        assert _Handler.timeout == DEFAULT_REQUEST_SOCKET_TIMEOUT_SECONDS
+
+    def test_make_server_override(self, service):
+        with running_server(service, request_timeout=7.5) as (_, server):
+            assert server.RequestHandlerClass.timeout == 7.5
+            # The override is per-server: the base class is untouched.
+            assert _Handler.timeout == DEFAULT_REQUEST_SOCKET_TIMEOUT_SECONDS
+
+    def test_make_server_rejects_nonpositive(self, service):
+        with pytest.raises(ValueError):
+            make_server(service, port=0, request_timeout=0)
+        service.close()
+
+    def test_cli_exposes_request_timeout_flag(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--demo", "--request-timeout", "12.5"]
+        )
+        assert args.request_timeout == 12.5
+
+    def test_stalled_body_is_disconnected(self, service):
+        # Slow-loris: open a connection, promise a body, never send it.
+        # The per-connection socket timeout must reclaim the handler.
+        with running_server(service, request_timeout=0.5) as (url, _):
+            host, port = url.replace("http://", "").split(":")
+            with socket.create_connection((host, int(port)), timeout=10) as s:
+                s.sendall(
+                    b"POST /discover HTTP/1.0\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: 1000\r\n\r\n"
+                )
+                s.sendall(b'{"dataset": ')  # ...and stall forever
+                s.settimeout(10)
+                # The server must give up and close; never hang the test.
+                data = s.recv(4096)
+                assert data == b"" or b"HTTP/1.0" in data
+            # The handler thread was reclaimed: the server still serves.
+            assert http_get(url + "/healthz")[0] == 200

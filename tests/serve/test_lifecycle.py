@@ -1,0 +1,232 @@
+"""Dataset lifecycle over HTTP: upload, evict, TTL sweep, bearer auth."""
+
+import pytest
+
+from repro.dataset.examples import employee_salary_table
+from repro.serve import ProfilerService, ServiceError
+
+from _serve_helpers import http_get, http_post, http_request, running_server
+
+TOKEN = "test-lifecycle-token"
+AUTH = {"Authorization": f"Bearer {TOKEN}"}
+
+CSV_BODY = "a,b,c\n1,10,x\n2,20,y\n3,30,z\n"
+
+
+@pytest.fixture()
+def service():
+    service = ProfilerService(auth_token=TOKEN)
+    service.add_dataset("demo", employee_salary_table())
+    return service
+
+
+class TestUpload:
+    def test_csv_upload_then_discover(self, service):
+        with running_server(service) as (url, _):
+            status, _, payload = http_request(
+                "PUT", url + "/datasets/fresh", body=CSV_BODY.encode(),
+                headers={**AUTH, "Content-Type": "text/csv"},
+            )
+            assert status == 201
+            assert payload["dataset"] == "fresh"
+            assert payload["num_rows"] == 3
+            assert payload["attributes"] == ["a", "b", "c"]
+            assert payload["pinned"] is False
+
+            status, _, listing = http_get(url + "/datasets")
+            names = {d["name"]: d for d in listing["datasets"]}
+            assert set(names) == {"demo", "fresh"}
+            assert names["fresh"]["pinned"] is False
+            assert names["demo"]["pinned"] is True
+
+            status, _, result = http_post(url + "/discover", {
+                "dataset": "fresh", "request": {"threshold": 0.1},
+            })
+            assert status == 200
+            assert result["num_rows"] == 3
+
+    def test_json_upload_with_pinning(self, service):
+        with running_server(service) as (url, _):
+            status, _, payload = http_request(
+                "PUT", url + "/datasets/rows",
+                body={"attributes": ["x", "y"],
+                      "rows": [[1, 2], [2, 4], [3, 6]],
+                      "pinned": True},
+                headers={**AUTH, "Content-Type": "application/json"},
+            )
+            assert status == 201
+            assert payload["pinned"] is True
+
+    def test_csv_upload_pinned_via_query(self, service):
+        with running_server(service) as (url, _):
+            status, _, payload = http_request(
+                "PUT", url + "/datasets/kept?pinned=1",
+                body=CSV_BODY.encode(),
+                headers={**AUTH, "Content-Type": "text/csv"},
+            )
+            assert status == 201
+            assert payload["pinned"] is True
+
+    def test_duplicate_upload_is_409(self, service):
+        with running_server(service) as (url, _):
+            status, _, payload = http_request(
+                "PUT", url + "/datasets/demo", body=CSV_BODY.encode(),
+                headers={**AUTH, "Content-Type": "text/csv"},
+            )
+            assert status == 409
+            assert "already loaded" in payload["error"]
+
+    def test_invalid_uploads_are_400(self, service):
+        with running_server(service) as (url, _):
+            cases = [
+                (b"", "text/csv"),
+                (b"not json at all", "application/json"),
+                (b'{"attributes": [], "rows": []}', "application/json"),
+                (b'{"rows": [[1]]}', "application/json"),
+            ]
+            for body, content_type in cases:
+                status, _, _ = http_request(
+                    "PUT", url + "/datasets/bad", body=body,
+                    headers={**AUTH, "Content-Type": content_type},
+                )
+                assert status == 400
+
+
+class TestEviction:
+    def test_delete_then_404(self, service):
+        with running_server(service) as (url, _):
+            status, _, payload = http_request(
+                "DELETE", url + "/datasets/demo", headers=AUTH
+            )
+            assert status == 200
+            assert payload == {"dataset": "demo", "evicted": True,
+                               "reason": "evicted"}
+            status, _, _ = http_post(url + "/discover", {
+                "dataset": "demo", "request": {},
+            })
+            assert status == 404
+
+    def test_delete_unknown_is_404(self, service):
+        with running_server(service) as (url, _):
+            status, _, _ = http_request(
+                "DELETE", url + "/datasets/nope", headers=AUTH
+            )
+            assert status == 404
+
+    def test_healthz_counts_lifecycle_events(self, service):
+        with running_server(service) as (url, _):
+            http_request("PUT", url + "/datasets/extra",
+                         body=CSV_BODY.encode(),
+                         headers={**AUTH, "Content-Type": "text/csv"})
+            http_request("DELETE", url + "/datasets/extra", headers=AUTH)
+            _, _, health = http_get(url + "/healthz")
+            lifecycle = health["lifecycle"]
+            assert lifecycle["uploads"] == 1
+            assert lifecycle["evictions"] == 1
+            assert lifecycle["ttl_evictions"] == 0
+            assert lifecycle["auth_required"] is True
+
+
+class TestAuth:
+    def test_lifecycle_requires_token(self, service):
+        with running_server(service) as (url, _):
+            for method, path in (("PUT", "/datasets/x"),
+                                 ("DELETE", "/datasets/demo")):
+                status, _, payload = http_request(
+                    method, url + path, body=CSV_BODY.encode(),
+                    headers={"Content-Type": "text/csv"},
+                )
+                assert status == 401, (method, path)
+                status, _, _ = http_request(
+                    method, url + path, body=CSV_BODY.encode(),
+                    headers={"Content-Type": "text/csv",
+                             "Authorization": "Bearer wrong"},
+                )
+                assert status == 401, (method, path)
+
+    def test_read_and_discover_stay_open(self, service):
+        with running_server(service) as (url, _):
+            assert http_get(url + "/healthz")[0] == 200
+            assert http_get(url + "/metrics")[0] == 200
+            assert http_get(url + "/datasets")[0] == 200
+            status, _, _ = http_post(url + "/discover", {
+                "dataset": "demo", "request": {"threshold": 0.15},
+            })
+            assert status == 200
+
+    def test_no_token_configured_means_open_lifecycle(self):
+        service = ProfilerService()
+        service.add_dataset("demo", employee_salary_table())
+        with running_server(service) as (url, _):
+            status, _, _ = http_request(
+                "PUT", url + "/datasets/open", body=CSV_BODY.encode(),
+                headers={"Content-Type": "text/csv"},
+            )
+            assert status == 201
+
+
+class TestTTL:
+    def test_sweep_evicts_only_idle_unpinned(self):
+        service = ProfilerService(dataset_ttl_seconds=60.0)
+        try:
+            service.add_dataset("pinned", employee_salary_table())
+            service.upload_dataset(
+                "idle", employee_salary_table(), pinned=False
+            )
+            service.upload_dataset(
+                "fresh", employee_salary_table(), pinned=False
+            )
+            # Age two datasets far past the TTL; "fresh" stays recent.
+            for name in ("pinned", "idle"):
+                service._last_used[name] -= 120.0
+            evicted = service.sweep_idle_datasets()
+            assert evicted == ["idle"]
+            assert service.dataset_names == ["fresh", "pinned"]
+            assert service.lifecycle_stats()["ttl_evictions"] == 1
+        finally:
+            service.close()
+
+    def test_sweep_without_ttl_is_noop(self):
+        service = ProfilerService()
+        try:
+            service.add_dataset("demo", employee_salary_table())
+            assert service.sweep_idle_datasets() == []
+        finally:
+            service.close()
+
+    def test_discovery_refreshes_idle_clock(self, quick_relation):
+        from repro.discovery.config import DiscoveryRequest
+
+        service = ProfilerService(dataset_ttl_seconds=60.0)
+        try:
+            service.upload_dataset("data", quick_relation, pinned=False)
+            service._last_used["data"] -= 120.0
+            service.discover("data", DiscoveryRequest(threshold=0.1))
+            assert service.sweep_idle_datasets() == []
+        finally:
+            service.close()
+
+    def test_ttl_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ProfilerService(dataset_ttl_seconds=0)
+
+
+class TestServiceLevelLifecycle:
+    def test_upload_while_draining_is_503(self):
+        service = ProfilerService()
+        try:
+            service.begin_drain()
+            with pytest.raises(ServiceError) as info:
+                service.upload_dataset("x", employee_salary_table())
+            assert info.value.status == 503
+        finally:
+            service.close()
+
+    def test_evicted_dataset_releases_admission_state(self):
+        service = ProfilerService()
+        try:
+            service.add_dataset("demo", employee_salary_table())
+            service.evict_dataset("demo")
+            assert "demo" not in service.admission.snapshot()["datasets"]
+        finally:
+            service.close()
